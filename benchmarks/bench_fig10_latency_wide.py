@@ -1,0 +1,40 @@
+"""Figure 10: MPI per-hop latency, wide nodes.
+
+"on wide nodes MPI-F is faster for messages of less than 100 bytes but
+slower for larger messages.  Evidently MPI-F was optimized for the wide
+nodes while MPI-AM was developed on thin ones."
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.figures import MPI_VARIANTS, mpi_ring_latency
+from repro.bench.report import fmt_series
+
+SIZES = [4, 64, 256, 1024, 8192, 16384]
+
+
+def test_fig10_latency_wide(benchmark, record):
+    def run():
+        return {
+            v: [(n, mpi_ring_latency(v, n, "sp-wide")) for n in SIZES]
+            for v in MPI_VARIANTS
+        }
+
+    curves = run_once(benchmark, run)
+    record(
+        fmt_series("Figure 10: per-hop latency, wide nodes", curves,
+                   ylabel="us/hop"),
+        **{f"{v}_4B": dict(curves[v])[4] for v in MPI_VARIANTS},
+    )
+    opt = dict(curves["opt_mpi_am"])
+    f = dict(curves["mpi_f"])
+    # MPI-F wins below ~100 bytes on its home turf
+    assert f[4] <= opt[4]
+    assert f[64] <= opt[64] * 1.01
+    # ... and loses for larger messages
+    assert f[16384] > opt[16384]
+    # thin-developed MPI-AM is slightly slower here than on thin nodes
+    from repro.bench.figures import mpi_ring_latency as ring
+    thin_small = ring("opt_mpi_am", 4, "sp-thin")
+    assert opt[4] >= thin_small - 0.5

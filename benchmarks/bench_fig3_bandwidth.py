@@ -1,0 +1,40 @@
+"""Figure 3: bandwidth of blocking and non-blocking bulk transfers.
+
+Six curves over 16 B .. 1 MB: synchronous store/get, MPL send/reply
+(blocking), pipelined async store/get, pipelined MPL send.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.bandwidth import MODES, n_half, r_inf, sweep
+from repro.bench.report import fmt_series
+
+#: trimmed sweep (the full DEFAULT_SIZES works too, just slower)
+SIZES = [64, 256, 1024, 4096, 8064, 16384, 65536, 262144, 1048576]
+
+
+def test_fig3_bandwidth_curves(benchmark, record):
+    def run():
+        return {mode: sweep(mode, SIZES) for mode in MODES}
+
+    curves = run_once(benchmark, run)
+    record(
+        fmt_series("Figure 3: bulk-transfer bandwidth", curves),
+        **{f"rinf_{m}": r_inf(curves[m]) for m in MODES},
+    )
+    by = {m: dict(curves[m]) for m in MODES}
+    # asymptotes: AM ~34.3, MPL ~34.6 (Table 3)
+    assert r_inf(curves["am_store_async"]) == pytest.approx(34.3, abs=1.0)
+    assert r_inf(curves["mpl_send"]) == pytest.approx(34.6, abs=1.2)
+    # pipelined async stores dominate blocking stores at small sizes
+    assert by["am_store_async"][1024] > 2 * by["am_store"][1024]
+    # gets slightly below stores at small sizes (get-request overhead)
+    assert by["am_get"][1024] < by["am_store"][1024]
+    # both converge for very large transfers ("virtually no distinction")
+    assert by["am_store"][1048576] == pytest.approx(
+        by["am_store_async"][1048576], rel=0.05)
+    # MPL's blocking send/reply is the worst small-message curve
+    assert by["mpl_send_reply"][1024] < by["am_store"][1024]
+    # AM reaches half power far earlier than MPL (pipelined)
+    assert n_half(curves["am_store_async"]) < n_half(curves["mpl_send"]) / 4

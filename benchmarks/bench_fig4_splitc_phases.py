@@ -1,0 +1,82 @@
+"""Figure 4: Split-C benchmark times normalized to SP AM, split cpu/net.
+
+The figure's claims, asserted below:
+
+* SP AM and SP MPL have *identical* cpu bars (same hardware) — the whole
+  difference is communication;
+* for the small-message variants, SP MPL's net bar dwarfs SP AM's;
+* the SP has the smallest cpu bar of all machines (fastest CPU);
+* the CM-5's bars are compute-dominated (slow CPU, cheap messages);
+* for bulk variants every SP bar shrinks toward parity.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.radix_sort import run_radix_sort
+from repro.apps.sample_sort import run_sample_sort
+from repro.bench.report import fmt_table
+
+STACKS = ("sp-am", "sp-mpl", "cm5", "meiko", "unet")
+KEYS = 1536
+
+
+def _runs():
+    out = {}
+    for stack in STACKS:
+        out[("smpsort-sm", stack)] = run_sample_sort(
+            stack, nprocs=8, keys_per_proc=KEYS, variant="small")
+        out[("smpsort-lg", stack)] = run_sample_sort(
+            stack, nprocs=8, keys_per_proc=KEYS, variant="bulk")
+    for stack in ("sp-am", "sp-mpl"):
+        out[("rdxsort-sm", stack)] = run_radix_sort(
+            stack, nprocs=8, keys_per_proc=KEYS, variant="small")
+        out[("rdxsort-lg", stack)] = run_radix_sort(
+            stack, nprocs=8, keys_per_proc=KEYS, variant="large")
+    for r in out.values():
+        assert r.payload["verified"]
+    return out
+
+
+def test_fig4_phase_split(benchmark, record):
+    results = run_once(benchmark, _runs)
+    rows = []
+    for bench in ("smpsort-sm", "smpsort-lg", "rdxsort-sm", "rdxsort-lg"):
+        base = results.get((bench, "sp-am"))
+        for stack in STACKS:
+            r = results.get((bench, stack))
+            if r is None:
+                continue
+            rows.append((bench, stack,
+                         round(r.cpu_s / base.elapsed_s, 2),
+                         round(r.net_s / base.elapsed_s, 2),
+                         round(r.elapsed_s / base.elapsed_s, 2)))
+    record(
+        fmt_table("Figure 4: phases normalized to SP AM (=1.0)",
+                  ["bench", "stack", "cpu", "net", "total"], rows,
+                  width=11),
+        **{f"{b}_{s}_total": r.elapsed_s
+           for (b, s), r in results.items()},
+    )
+    g = results
+    for bench in ("smpsort-sm", "smpsort-lg"):
+        am = g[(bench, "sp-am")]
+        mpl = g[(bench, "sp-mpl")]
+        # identical SP hardware -> identical compute phases
+        assert mpl.cpu_s == pytest.approx(am.cpu_s, rel=0.02), bench
+        # the SP's cpu phase is the smallest of all machines
+        for stack in ("cm5", "meiko", "unet"):
+            assert am.cpu_s < g[(bench, stack)].cpu_s, (bench, stack)
+    # fine-grain: MPL's net phase balloons (>3x AM)
+    assert g[("smpsort-sm", "sp-mpl")].net_s > \
+        3 * g[("smpsort-sm", "sp-am")].net_s
+    assert g[("rdxsort-sm", "sp-mpl")].net_s > \
+        3 * g[("rdxsort-sm", "sp-am")].net_s
+    # bulk: SP MPL total within ~1.5x of SP AM
+    assert g[("smpsort-lg", "sp-mpl")].elapsed_s < \
+        1.5 * g[("smpsort-lg", "sp-am")].elapsed_s
+    assert g[("rdxsort-lg", "sp-mpl")].elapsed_s < \
+        1.5 * g[("rdxsort-lg", "sp-am")].elapsed_s
+    # the CM-5 is compute-dominated on the fine-grain sort
+    cm5 = g[("smpsort-sm", "cm5")]
+    assert cm5.cpu_s > cm5.net_s

@@ -1,0 +1,39 @@
+"""Figure 7: buffered vs rendez-vous vs hybrid protocol bandwidth.
+
+"the hybrid protocol keeps the pipeline full while avoiding excessive
+buffer space requirements ... and can reach a higher bandwidth than
+either the buffered or rendezvous protocols could alone."
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.figures import PROTOCOL_CONFIGS, protocol_bandwidth
+from repro.bench.report import fmt_series
+
+SIZES = [512, 1024, 2048, 4096, 8192, 12288, 16384]
+
+
+def test_fig7_protocol_bandwidth(benchmark, record):
+    def run():
+        return {
+            proto: [(n, protocol_bandwidth(proto, n)) for n in SIZES]
+            for proto in PROTOCOL_CONFIGS
+        }
+
+    curves = run_once(benchmark, run)
+    record(
+        fmt_series("Figure 7: protocol bandwidth", curves),
+        **{f"{p}_16k": dict(curves[p])[16384] for p in curves},
+    )
+    buf = dict(curves["buffered"])
+    rdv = dict(curves["rendezvous"])
+    hyb = dict(curves["hybrid"])
+    # rendez-vous pays its round trip at small sizes
+    assert rdv[1024] < buf[1024]
+    # the hybrid matches or beats BOTH at every size
+    for n in SIZES:
+        assert hyb[n] >= buf[n] * 0.97, n
+        assert hyb[n] >= rdv[n] * 0.97, n
+    # and is strictly better than either alone in the mid range
+    assert hyb[4096] > max(buf[4096], rdv[4096]) * 1.05

@@ -1,0 +1,43 @@
+"""Figure 8: MPI point-to-point per-hop latency, thin nodes.
+
+Four curves (am_store, unoptimized MPI-AM, optimized MPI-AM, MPI-F) over
+a 4-node ring.  "On the thin nodes MPI over AM achieves a lower
+small-message latency than MPI-F."
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.figures import MPI_VARIANTS, mpi_ring_latency
+from repro.bench.report import fmt_series
+
+SIZES = [4, 64, 256, 1024, 4096, 16384]
+
+
+def test_fig8_latency_thin(benchmark, record):
+    def run():
+        return {
+            v: [(n, mpi_ring_latency(v, n, "sp-thin")) for n in SIZES]
+            for v in MPI_VARIANTS
+        }
+
+    curves = run_once(benchmark, run)
+    record(
+        fmt_series("Figure 8: per-hop latency, thin nodes", curves,
+                   ylabel="us/hop"),
+        **{f"{v}_4B": dict(curves[v])[4] for v in MPI_VARIANTS},
+    )
+    small = {v: dict(curves[v])[4] for v in MPI_VARIANTS}
+    # am_store is the floor every MPI curve sits on
+    assert all(small["am_store"] < small[v] for v in MPI_VARIANTS
+               if v != "am_store")
+    # optimized MPI-AM beats MPI-F for small messages on thin nodes
+    assert small["opt_mpi_am"] < small["mpi_f"]
+    # ... and is "within a microsecond"-scale of it, not a blowout
+    assert small["mpi_f"] - small["opt_mpi_am"] < 6.0
+    # the unoptimized implementation is the one that loses to MPI-F
+    assert small["unopt_mpi_am"] > small["mpi_f"]
+    # optimizations help at every size
+    for n in SIZES:
+        assert dict(curves["opt_mpi_am"])[n] <= dict(
+            curves["unopt_mpi_am"])[n] * 1.01, n

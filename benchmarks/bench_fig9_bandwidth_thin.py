@@ -1,0 +1,45 @@
+"""Figure 9: MPI point-to-point bandwidth, thin nodes.
+
+"The current MPI over SP AM matches MPI-F's performance for very small
+and very large messages and outperforms MPI-F by 10 to 30% for medium
+size (8 KByte to ~20 KByte) messages."
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.figures import MPI_VARIANTS, mpi_bandwidth
+from repro.bench.report import fmt_series
+
+SIZES = [256, 1024, 4096, 6144, 8192, 16384, 32768, 131072, 524288]
+
+
+def test_fig9_bandwidth_thin(benchmark, record):
+    def run():
+        return {
+            v: [(n, mpi_bandwidth(v, n, "sp-thin")) for n in SIZES]
+            for v in MPI_VARIANTS
+        }
+
+    curves = run_once(benchmark, run)
+    record(
+        fmt_series("Figure 9: MPI bandwidth, thin nodes", curves),
+        **{f"{v}_512k": dict(curves[v])[524288] for v in MPI_VARIANTS},
+    )
+    opt = dict(curves["opt_mpi_am"])
+    f = dict(curves["mpi_f"])
+    store = dict(curves["am_store"])
+    # raw am_store bounds all the MPI curves from above at large sizes
+    assert store[524288] >= opt[524288] * 0.98
+    # small messages: the implementations are comparable
+    assert opt[1024] == pytest.approx(f[1024], rel=0.10)
+    # the medium band past MPI-F's protocol switch: MPI-AM wins, and the
+    # peak advantage sits in the paper's 10-30% (and beyond) territory
+    for n in (6144, 8192):
+        assert opt[n] > f[n], n
+    gain = max(opt[n] / f[n] - 1 for n in (6144, 8192, 16384))
+    assert gain > 0.10
+    # MPI-F's bandwidth drops just past its rendez-vous switch (§4.3)
+    assert f[6144] < f[4096]
+    # very large: the implementations converge ("matches ... very large")
+    assert opt[524288] == pytest.approx(f[524288], rel=0.12)

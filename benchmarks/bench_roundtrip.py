@@ -1,0 +1,42 @@
+"""§2.3 round-trip latencies: raw 47 us, SP AM 51.0 us (+0.5/word), MPL 88 us."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.pingpong import am_roundtrip, mpl_roundtrip, raw_roundtrip
+from repro.bench.report import paper_vs_measured
+
+
+def test_roundtrip_latencies(benchmark, record):
+    def run():
+        return {
+            "raw": raw_roundtrip(100),
+            "am1": am_roundtrip(1, 100),
+            "am2": am_roundtrip(2, 60),
+            "am3": am_roundtrip(3, 60),
+            "am4": am_roundtrip(4, 60),
+            "mpl": mpl_roundtrip(100),
+        }
+
+    r = run_once(benchmark, run)
+    record(
+        paper_vs_measured(
+            "S2.3 round-trip latency (us)",
+            [
+                ("raw ping-pong", 47.0, r["raw"]),
+                ("am_request_1/reply_1", 51.0, r["am1"]),
+                ("2 words", 51.5, r["am2"]),
+                ("3 words", 52.0, r["am3"]),
+                ("4 words", 52.5, r["am4"]),
+                ("MPL mpc_bsend/mpc_recv", 88.0, r["mpl"]),
+            ],
+        ),
+        **r,
+    )
+    assert r["raw"] == pytest.approx(47.0, abs=1.5)
+    assert r["am1"] == pytest.approx(51.0, abs=1.5)
+    assert r["mpl"] == pytest.approx(88.0, abs=2.0)
+    # the paper's headline: AM cuts MPL's round trip by ~40%
+    assert (r["mpl"] - r["am1"]) / r["mpl"] > 0.35
+    # ~0.5 us per extra word
+    assert r["am4"] - r["am1"] == pytest.approx(1.5, abs=1.2)

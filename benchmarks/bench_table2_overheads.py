@@ -1,0 +1,34 @@
+"""Table 2: am_request_N and am_reply_N call costs."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.report import fmt_table
+from repro.bench.callcosts import (
+    PAPER_REPLY,
+    PAPER_REQUEST,
+    reply_call_cost,
+    request_call_cost,
+)
+
+
+def test_table2_call_overheads(benchmark, record):
+    def run():
+        req = {n: request_call_cost(n) for n in (1, 2, 3, 4)}
+        rep = {n: reply_call_cost(n) for n in (1, 2, 3, 4)}
+        return req, rep
+
+    req, rep = run_once(benchmark, run)
+    rows = []
+    for n in (1, 2, 3, 4):
+        rows.append((f"am_request_{n}", PAPER_REQUEST[n], round(req[n], 2)))
+        rows.append((f"am_reply_{n}", PAPER_REPLY[n], round(rep[n], 2)))
+    record(
+        fmt_table("Table 2: AM call costs (us)",
+                  ["call", "paper", "measured"], rows),
+        **{f"request_{n}": req[n] for n in req},
+        **{f"reply_{n}": rep[n] for n in rep},
+    )
+    for n in (1, 2, 3, 4):
+        assert req[n] == pytest.approx(PAPER_REQUEST[n], abs=0.3)
+        assert rep[n] == pytest.approx(PAPER_REPLY[n], abs=0.3)

@@ -1,0 +1,39 @@
+"""Table 4: TMC CM-5 vs Meiko CS-2 vs U-Net/ATM vs IBM SP."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.machines import TABLE4_PAPER, table4_rows
+from repro.bench.report import fmt_table
+
+
+def test_table4_machine_comparison(benchmark, record):
+    rows = run_once(benchmark, table4_rows)
+    by_name = {r.name: r for r in rows}
+    table = []
+    for r in rows:
+        p = TABLE4_PAPER[r.name]
+        table.append((p["label"],
+                      p["overhead"], round(r.overhead_us, 1),
+                      p["rtt"], round(r.rtt_us, 1),
+                      p["bw"], round(r.bandwidth_mbs, 1)))
+    record(
+        fmt_table(
+            "Table 4: machine comparison (paper/measured pairs)",
+            ["machine", "ovh(p)", "ovh(m)", "rtt(p)", "rtt(m)",
+             "bw(p)", "bw(m)"],
+            table, width=10),
+        **{f"rtt_{r.name}": r.rtt_us for r in rows},
+        **{f"bw_{r.name}": r.bandwidth_mbs for r in rows},
+    )
+    # round trips within 10% of the paper's column
+    for name, paper in TABLE4_PAPER.items():
+        assert by_name[name].rtt_us == pytest.approx(paper["rtt"], rel=0.10), name
+    # bandwidth ordering: Meiko > SP > U-Net > CM-5
+    bw = {n: by_name[n].bandwidth_mbs for n in by_name}
+    assert bw["meiko"] > bw["sp-thin"] > bw["unet"] > bw["cm5"]
+    # overheads: CM-5 and U-Net are the fine-grain machines
+    assert by_name["cm5"].overhead_us < by_name["meiko"].overhead_us
+    # the SP pairs a *high* network latency with competitive overhead —
+    # the paper's central observation
+    assert by_name["sp-thin"].rtt_us > 2 * by_name["meiko"].rtt_us

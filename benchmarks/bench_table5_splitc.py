@@ -1,0 +1,124 @@
+"""Table 5 + Figure 4: Split-C application benchmarks on five stacks.
+
+Absolute times (Table 5) and per-phase cpu/net splits normalized to SP AM
+(Figure 4).  Default scale is reduced from the paper's ~1M keys; the
+harness projects the sort results to paper scale (the per-key costs are
+scale-stable).  Set ``KEYS_PER_PROC`` higher to run closer to paper scale.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.matmul import run_matmul
+from repro.apps.radix_sort import run_radix_sort
+from repro.apps.sample_sort import run_sample_sort
+from repro.bench.report import fmt_table
+
+STACKS = ("sp-am", "sp-mpl", "cm5", "meiko", "unet")
+KEYS_PER_PROC = 2048
+#: projection factor to the paper's ~131072 keys/proc
+SCALE = 131072 // KEYS_PER_PROC
+
+#: Table 5's legible entries (seconds; several cells are OCR-damaged —
+#: see DESIGN.md §4)
+PAPER = {
+    ("smpsort-sm", "sp-am"): 4.393,
+    ("smpsort-sm", "sp-mpl"): 18.70,
+    ("smpsort-lg", "sp-am"): 1.814,
+    ("smpsort-lg", "sp-mpl"): 1.811,
+    ("rdxsort-sm", "sp-am"): 9.894,
+    ("rdxsort-lg", "sp-am"): 3.43,
+    ("rdxsort-lg", "sp-mpl"): 3.87,
+    ("mm128", "sp-mpl"): 1.180,
+}
+
+
+def _sorts():
+    out = {}
+    for stack in STACKS:
+        r = run_sample_sort(stack, nprocs=8, keys_per_proc=KEYS_PER_PROC,
+                            variant="small")
+        assert r.payload["verified"], ("smpsort-sm", stack)
+        out[("smpsort-sm", stack)] = r
+        r = run_sample_sort(stack, nprocs=8, keys_per_proc=KEYS_PER_PROC,
+                            variant="bulk")
+        assert r.payload["verified"], ("smpsort-lg", stack)
+        out[("smpsort-lg", stack)] = r
+    for stack in ("sp-am", "sp-mpl"):
+        r = run_radix_sort(stack, nprocs=8, keys_per_proc=KEYS_PER_PROC,
+                           variant="small")
+        assert r.payload["verified"], ("rdxsort-sm", stack)
+        out[("rdxsort-sm", stack)] = r
+        r = run_radix_sort(stack, nprocs=8, keys_per_proc=KEYS_PER_PROC,
+                           variant="large")
+        assert r.payload["verified"], ("rdxsort-lg", stack)
+        out[("rdxsort-lg", stack)] = r
+    return out
+
+
+def _matmuls():
+    out = {}
+    for stack in ("sp-am", "sp-mpl", "cm5"):
+        out[("mm128", stack)] = run_matmul(stack, nprocs=8, n=4, b=128)
+        out[("mm16", stack)] = run_matmul(stack, nprocs=8, n=16, b=16)
+    return out
+
+
+def test_table5_sorts(benchmark, record):
+    results = run_once(benchmark, _sorts)
+    rows = []
+    for (bench, stack), r in sorted(results.items()):
+        proj = r.elapsed_s * SCALE
+        paper = PAPER.get((bench, stack), "-")
+        rows.append((bench, stack, round(proj, 2), paper,
+                     round(r.cpu_s * SCALE, 2), round(r.net_s * SCALE, 2)))
+    record(
+        fmt_table("Table 5 (sorts, projected to ~1M keys; seconds)",
+                  ["bench", "stack", "measured", "paper", "cpu", "net"],
+                  rows, width=10),
+        **{f"{b}_{s}": r.elapsed_s * SCALE
+           for (b, s), r in results.items()},
+    )
+    g = {k: v.elapsed_s for k, v in results.items()}
+    # MPL's per-message overhead buries the small-message variants (§3)
+    assert g[("smpsort-sm", "sp-mpl")] > 3 * g[("smpsort-sm", "sp-am")]
+    assert g[("rdxsort-sm", "sp-mpl")] > 3 * g[("rdxsort-sm", "sp-am")]
+    # ... but the bulk variants are close (comparable bulk bandwidth)
+    assert g[("smpsort-lg", "sp-mpl")] < 1.6 * g[("smpsort-lg", "sp-am")]
+    assert g[("rdxsort-lg", "sp-mpl")] < 1.6 * g[("rdxsort-lg", "sp-am")]
+    # SP AM's fine-grain sorts beat the slower-CPU CM-5 overall
+    assert g[("smpsort-sm", "sp-am")] < g[("smpsort-sm", "cm5")]
+    # Figure 4: SP has the fastest CPU -> smallest compute phase
+    cpu = {s: results[("smpsort-sm", s)].cpu_s for s in STACKS}
+    assert cpu["sp-am"] < min(cpu["cm5"], cpu["meiko"], cpu["unet"])
+    # Figure 4: identical SP hardware -> identical cpu bars, bigger net bar
+    am, mpl = results[("smpsort-sm", "sp-am")], results[("smpsort-sm", "sp-mpl")]
+    assert am.cpu_s == pytest.approx(mpl.cpu_s, rel=0.02)
+    assert mpl.net_s > 3 * am.net_s
+    # paper-scale sanity for the legible absolute entries
+    assert g[("smpsort-lg", "sp-am")] * SCALE == pytest.approx(1.814, rel=0.35)
+    assert g[("rdxsort-sm", "sp-am")] * SCALE == pytest.approx(9.894, rel=0.35)
+
+
+def test_table5_matmul(benchmark, record):
+    results = run_once(benchmark, _matmuls)
+    rows = []
+    for (bench, stack), r in sorted(results.items()):
+        rows.append((bench, stack, round(r.elapsed_s, 3),
+                     PAPER.get((bench, stack), "-"),
+                     round(r.cpu_s, 3), round(r.net_s, 3)))
+    record(
+        fmt_table("Table 5 (matmul, paper scale directly; seconds)",
+                  ["bench", "stack", "measured", "paper", "cpu", "net"],
+                  rows, width=10),
+        **{f"{b}_{s}": r.elapsed_s for (b, s), r in results.items()},
+    )
+    g = {k: v.elapsed_s for k, v in results.items()}
+    # large blocks: AM ~= MPL (bandwidth-bound, §3)
+    assert g[("mm128", "sp-mpl")] < 1.25 * g[("mm128", "sp-am")]
+    # small blocks: MPL's message overhead shows ("degrades significantly")
+    assert g[("mm16", "sp-mpl")] > 1.25 * g[("mm16", "sp-am")]
+    # SP's floating-point advantage over the CM-5
+    assert g[("mm128", "cm5")] > 2 * g[("mm128", "sp-am")]
+    # mm128 lands near the paper's ~1.0-1.2 s
+    assert 0.7 < g[("mm128", "sp-am")] < 1.4

@@ -1,0 +1,59 @@
+"""Table 6: NAS benchmarks (class-A-like kernels) on 16 thin nodes.
+
+Paper values (seconds; BT's MPI-F cell is OCR-damaged):
+
+    =====  =======  =======
+    bench  MPI-F    MPI-AM
+    =====  =======  =======
+    BT       (?)     ~equal
+    FT      31.87    32.49
+    LU     ~166.6   ~170.9
+    MG      27.9     28.19
+    SP      40.37    49.08
+    =====  =======  =======
+
+We run reduced-scale kernels with the same communication schedules and
+compare the MPI-AM/MPI-F ratio — the quantity the table is about.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.nas import NAS_KERNELS
+from repro.bench.report import fmt_table
+
+PAPER_RATIO = {"BT": None, "FT": 1.02, "LU": 1.03, "MG": 1.01, "SP": 1.22}
+
+
+def test_table6_nas(benchmark, record):
+    def run():
+        out = {}
+        for name, runner in sorted(NAS_KERNELS.items()):
+            am = runner("mpi-am")
+            f = runner("mpi-f")
+            assert am.verified and f.verified, name
+            out[name] = (f.elapsed_s, am.elapsed_s)
+        return out
+
+    results = run_once(benchmark, run)
+    rows = []
+    for name, (f_s, am_s) in sorted(results.items()):
+        ratio = am_s / f_s
+        paper = PAPER_RATIO[name]
+        rows.append((name, round(f_s, 4), round(am_s, 4),
+                     round(ratio, 2), paper if paper else "-"))
+    record(
+        fmt_table("Table 6: NAS kernels, 16 thin nodes (seconds)",
+                  ["bench", "MPI-F", "MPI-AM", "ratio", "paper ratio"],
+                  rows, width=11),
+        **{f"ratio_{n}": am / f for n, (f, am) in results.items()},
+    )
+    for name, (f_s, am_s) in results.items():
+        # the headline: "the running times of MPI-AM are close to those
+        # achieved by the native MPI-F implementation"
+        assert am_s / f_s < 1.35, name
+        # and MPI-F is never dramatically ahead the other way
+        assert am_s / f_s > 0.80, name
+    # the communication-heavy kernels show the bigger gaps (FT alltoall,
+    # LU's tiny wavefront messages), BT the smallest
+    assert results["BT"][1] / results["BT"][0] < 1.05

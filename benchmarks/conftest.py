@@ -1,0 +1,33 @@
+"""Benchmark harness conventions.
+
+Every module reproduces one table or figure of the paper.  The pytest-
+benchmark fixture times the (wall-clock) experiment once; the *simulated*
+results — the numbers comparable to the paper — are attached to
+``benchmark.extra_info`` and printed as a paper-vs-measured block.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only            # everything
+    pytest benchmarks/bench_table3_summary.py -s   # one table, verbose
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def record(benchmark, capsys):
+    """Attach simulated metrics + print a report block."""
+
+    def _record(report_text: str, **metrics):
+        for k, v in metrics.items():
+            benchmark.extra_info[k] = round(v, 3) if isinstance(v, float) else v
+        with capsys.disabled():
+            print("\n" + report_text)
+
+    return _record

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Quickstart: SP Active Messages in five minutes.
+
+Builds a 2-node simulated IBM SP, attaches SP AM, and demonstrates the
+whole Table-1 interface: requests/replies, bulk stores and gets, and
+polling — while measuring the paper's headline numbers (51 us round trip,
+34.3 MB/s).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.am import attach_spam
+from repro.hardware import build_sp_machine
+from repro.sim import Simulator
+
+
+def main() -> None:
+    # --- build the machine -------------------------------------------------
+    sim = Simulator()
+    machine = build_sp_machine(sim, nprocs=2)
+    am0, am1 = attach_spam(machine)
+    node0, node1 = machine.node(0), machine.node(1)
+
+    # --- 1. request / reply ----------------------------------------------------
+    replies = []
+
+    def pong(token, x):
+        """Reply handler, runs back on node 0."""
+        replies.append(x)
+
+    def ping(token, x):
+        """Request handler, runs on node 1; replies through the token."""
+        yield from token.reply_1(pong, x * 2)
+
+    ITER = 100
+
+    def pinger():
+        t0 = sim.now
+        for i in range(ITER):
+            before = len(replies)
+            yield from am0.request_1(1, ping, i)
+            while len(replies) == before:      # spin on am_poll
+                yield from am0._wait_progress()
+        rtt = (sim.now - t0) / ITER
+        print(f"1-word AM round trip : {rtt:6.2f} us   (paper: 51.0)")
+
+    def responder():
+        while len(replies) < ITER:
+            yield from am1._wait_progress()
+
+    p = sim.spawn(pinger(), name="ping")
+    sim.spawn(responder(), name="pong")
+    sim.run_until_processes_done([p])
+
+    # --- 2. bulk store ------------------------------------------------------------
+    N = 1 << 20  # 1 MB
+    src = node0.memory.alloc(N)
+    dst = node1.memory.alloc(N)
+    node0.memory.write(src, bytes(range(256)) * (N // 256))
+    done = []
+
+    def on_complete(token, addr, nbytes, arg):
+        done.append(nbytes)
+
+    flag = [0]
+
+    def sender():
+        t0 = sim.now
+        yield from am0.store(1, src, dst, N, handler=on_complete)
+        bw = N / (sim.now - t0)
+        print(f"1 MB am_store        : {bw:6.2f} MB/s (paper: 34.3)")
+        flag[0] = 1
+
+    def receiver():
+        # one poller per node: the server exits cleanly between phases
+        while not flag[0]:
+            yield from am1._wait_progress()
+
+    p = sim.spawn(sender(), name="store")
+    q = sim.spawn(receiver(), name="recv")
+    sim.run_until_processes_done([p, q])
+    assert node1.memory.read(dst, N) == node0.memory.read(src, N)
+    assert done == [N]
+    print("store completion handler ran on the receiver, data verified")
+
+    # --- 3. bulk get ------------------------------------------------------------
+    back = node0.memory.alloc(N)
+    flag[0] = 0
+
+    def getter():
+        yield from am0.get(1, dst, back, N)
+        flag[0] = 1
+
+    p = sim.spawn(getter(), name="get")
+    q = sim.spawn(receiver(), name="serve")
+    sim.run_until_processes_done([p, q])
+    assert node0.memory.read(back, N) == node0.memory.read(src, N)
+    print("am_get fetched the data back, round-tripped intact")
+
+    # --- protocol statistics ------------------------------------------------
+    print("\nflow-control stats (node 0):", am0.stats.snapshot())
+    print("flow-control stats (node 1):", am1.stats.snapshot())
+
+
+if __name__ == "__main__":
+    main()

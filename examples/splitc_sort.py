@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Split-C sample sort across five machines — a miniature Table 5.
+
+Runs the paper's small-message and bulk sample-sort variants on the
+simulated IBM SP (over SP AM and over MPL), TMC CM-5, Meiko CS-2 and the
+U-Net/ATM cluster, printing the cpu/net phase split of Figure 4.
+
+The point the paper makes, visible directly in the output: on identical
+SP hardware, Split-C over MPL pays several times the communication cost
+of Split-C over AM for fine-grain traffic — while machines with slower
+CPUs (CM-5) lose in the compute phase instead.
+
+Run:  python examples/splitc_sort.py  [keys_per_proc]
+"""
+
+import sys
+
+from repro.apps.sample_sort import run_sample_sort
+from repro.apps.workloads import STACKS
+
+
+def main() -> None:
+    keys = int(sys.argv[1]) if len(sys.argv) > 1 else 1024
+    nprocs = 8
+    print(f"sample sort, {nprocs} processors x {keys} keys "
+          f"(paper scale is ~131072/proc)\n")
+    header = f'{"variant":>8} {"machine":>8} {"cpu(ms)":>9} ' \
+             f'{"net(ms)":>9} {"total":>9}  sorted?'
+    print(header)
+    print("-" * len(header))
+    for variant in ("small", "bulk"):
+        for stack in STACKS:
+            r = run_sample_sort(stack, nprocs=nprocs, keys_per_proc=keys,
+                                variant=variant)
+            print(f"{variant:>8} {stack:>8} {r.cpu_s * 1e3:9.2f} "
+                  f"{r.net_s * 1e3:9.2f} {r.elapsed_s * 1e3:9.2f}  "
+                  f"{r.payload['verified']}")
+        print()
+    print("note how sp-mpl's net column balloons for the small-message")
+    print("variant but nearly matches sp-am for the bulk variant (§3).")
+
+
+if __name__ == "__main__":
+    main()

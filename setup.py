@@ -1,0 +1,7 @@
+"""Legacy shim: lets ``python setup.py develop`` work in offline
+environments where pip's build isolation cannot fetch setuptools/wheel.
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

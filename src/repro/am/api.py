@@ -1,0 +1,56 @@
+"""Public Active Messages API and per-machine attachment.
+
+Matching Table 1 of the paper::
+
+    am.request_M(dst, handler, i1..iM)   send an M-word request
+    token.reply_M(handler, i1..iM)       send an M-word reply (in handler)
+    am.store(...)                        long message, blocking
+    am.store_async(...)                  long message, non-blocking
+    am.get(...)                          fetch data from a remote node
+    am.poll()                            poll the network
+
+``attach_spam`` installs the full SP implementation (flow control, chunk
+protocol) on an SP machine; ``attach_generic_am`` installs the LogP-cost
+implementation on a Table-4 peer machine.  ``attach_am`` picks by machine
+kind, so portable code (Split-C, the benchmarks) never branches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.am.constants import AMCosts
+from repro.am.endpoint import ReplyToken, SPAM
+from repro.am.generic import GenericAM
+from repro.am.handler import HandlerTable
+from repro.hardware.machine import Machine
+
+#: anything usable as ``node.am``
+ActiveMessages = Union[SPAM, GenericAM]
+
+
+def attach_spam(
+    machine: Machine, costs: Optional[AMCosts] = None
+) -> List[SPAM]:
+    """Install SP AM on every node of an SP machine."""
+    if not machine.is_sp:
+        raise ValueError(
+            f"{machine.params.name!r} is not an SP; use attach_generic_am"
+        )
+    table = HandlerTable()
+    return [SPAM(node, table, costs) for node in machine.nodes]
+
+
+def attach_generic_am(machine: Machine) -> List[GenericAM]:
+    """Install the generic (LogP-cost) AM on a peer machine."""
+    if machine.is_sp:
+        raise ValueError(
+            f"{machine.params.name!r} is an SP; use attach_spam"
+        )
+    table = HandlerTable()
+    return [GenericAM(node, table) for node in machine.nodes]
+
+
+def attach_am(machine: Machine) -> List[ActiveMessages]:
+    """Install the right AM implementation for the machine kind."""
+    return attach_spam(machine) if machine.is_sp else attach_generic_am(machine)

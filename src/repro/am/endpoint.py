@@ -1,0 +1,678 @@
+"""The SP Active Messages endpoint: one per node, over the TB2 adapter (§2).
+
+All public operations are generators (``yield from am.request_2(...)``);
+they charge the calibrated host costs of Table 2, move real packets through
+the simulated adapter/switch, and implement §2.2's reliability machinery:
+
+* per-peer, per-channel sliding windows (72 request / 76 reply packets),
+* piggybacked cumulative acks on every sequenced packet,
+* explicit acks at a quarter window and one ack per bulk chunk,
+* NACK-triggered go-back-N retransmission of saved packets,
+* keep-alive probes when acks stop arriving (emulating the paper's
+  unsuccessful-poll timeout),
+* pipelined chunk protocol for stores and gets (Figure 2).
+
+Handlers run inside :meth:`poll`, may charge CPU by being generators, and
+may send at most one reply through their :class:`ReplyToken`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.am.bulk import BulkRecvState, BulkSendOp, packets_in_chunk
+from repro.am.constants import (
+    ACK_FRACTION,
+    AMCosts,
+    PACKET_PAYLOAD_BYTES,
+    REPLY_CHANNEL,
+    REPLY_WINDOW,
+    REQUEST_CHANNEL,
+    REQUEST_WINDOW,
+)
+from repro.am.handler import HandlerRestrictionError, HandlerTable, run_handler
+from repro.am.window import RecvWindow, SendWindow
+from repro.hardware.cache import copy_cost, flush_cost
+from repro.hardware.packet import Packet, PacketKind
+from repro.sim.primitives import TIMED_OUT, Delay, Timeout
+from repro.sim.stats import StatRegistry
+
+
+class _PeerState:
+    """Everything one endpoint tracks about one remote node."""
+
+    __slots__ = ("send", "recv", "pending_units")
+
+    def __init__(self) -> None:
+        self.send = (SendWindow(REQUEST_WINDOW), SendWindow(REPLY_WINDOW))
+        self.recv = (
+            RecvWindow(REQUEST_WINDOW, REQUEST_WINDOW // ACK_FRACTION),
+            RecvWindow(REPLY_WINDOW, REPLY_WINDOW // ACK_FRACTION),
+        )
+        #: per channel: sorted list of (end_seq, op, chunk_idx) pending acks
+        self.pending_units: Tuple[list, list] = ([], [])
+
+
+class ReplyToken:
+    """Handed to request/store handlers; allows at most one reply."""
+
+    __slots__ = ("am", "src", "_used")
+
+    def __init__(self, am: "SPAM", src: int):
+        self.am = am
+        self.src = src
+        self._used = False
+
+    def _claim(self) -> None:
+        if self._used:
+            raise HandlerRestrictionError("handler already sent its one reply")
+        self._used = True
+
+    def reply_1(self, handler: Callable, a0: int):
+        """Send the handler's one 1-word reply back to the requester."""
+        return self._reply(handler, (a0,))
+
+    def reply_2(self, handler: Callable, a0: int, a1: int):
+        """Send the handler's one 2-word reply back to the requester."""
+        return self._reply(handler, (a0, a1))
+
+    def reply_3(self, handler: Callable, a0: int, a1: int, a2: int):
+        """Send the handler's one 3-word reply back to the requester."""
+        return self._reply(handler, (a0, a1, a2))
+
+    def reply_4(self, handler: Callable, a0: int, a1: int, a2: int, a3: int):
+        """Send the handler's one 4-word reply back to the requester."""
+        return self._reply(handler, (a0, a1, a2, a3))
+
+    def _reply(self, handler: Callable, args: Tuple[int, ...]):
+        self._claim()
+        return self.am._send_reply(self.src, handler, args)
+
+
+class SPAM:
+    """SP Active Messages on one node.  Access as ``node.am``."""
+
+    def __init__(self, node, handlers: HandlerTable, costs: Optional[AMCosts] = None):
+        self.node = node
+        self.adapter = node.adapter
+        self.handlers = handlers
+        self.costs = costs if costs is not None else AMCosts()
+        self.sim = node.sim
+        self.host = node.host
+        self.stats = StatRegistry(f"am[{node.id}].")
+        self._peers: Dict[int, _PeerState] = {}
+        self._in_handler = False
+        #: replies that found the reply window or send FIFO full; drained
+        #: by subsequent polls
+        self._deferred_replies: Deque[Tuple[int, int, Tuple[int, ...]]] = deque()
+        #: bulk receive reassembly, keyed by (src, op_token)
+        self._bulk_recv: Dict[Tuple[int, int], BulkRecvState] = {}
+        #: bulk send ops with chunks still to transmit
+        self._active_sends: List[BulkSendOp] = []
+        self._next_token = 1
+        #: raw (flow-control-free) packets land here for repro.am.raw
+        self._raw_inbox: Deque[Packet] = deque()
+        #: blocking-get completion events, keyed like _bulk_recv
+        self._get_waiters: Dict[Tuple[int, int], Any] = {}
+        self._sendable_ops_dirty = False
+        #: keep-alive backoff: doubles while probes go unanswered (peers
+        #: deep in compute phases), resets on any ack progress
+        self._keepalive_backoff = 1.0
+        #: network time attributed by the Split-C profiler
+        self.net_time_accum = 0.0
+        node.am = self
+
+    # ------------------------------------------------------------------
+    # public GAM 1.1 API — all generators
+    # ------------------------------------------------------------------
+
+    def register(self, fn: Callable) -> int:
+        """Register an AM handler; same id on every node of the machine."""
+        return self.handlers.register(fn)
+
+    def request_1(self, dst, handler, a0):
+        """Send a 1-word request; ``handler`` runs on ``dst`` (Table 1)."""
+        return self._request(dst, handler, (a0,))
+
+    def request_2(self, dst, handler, a0, a1):
+        """Send a 2-word request; ``handler`` runs on ``dst`` (Table 1)."""
+        return self._request(dst, handler, (a0, a1))
+
+    def request_3(self, dst, handler, a0, a1, a2):
+        """Send a 3-word request; ``handler`` runs on ``dst`` (Table 1)."""
+        return self._request(dst, handler, (a0, a1, a2))
+
+    def request_4(self, dst, handler, a0, a1, a2, a3):
+        """Send a 4-word request; ``handler`` runs on ``dst`` (Table 1)."""
+        return self._request(dst, handler, (a0, a1, a2, a3))
+
+    def store(self, dst: int, local_addr: int, remote_addr: int, nbytes: int,
+              handler: Callable = None, arg: int = 0):
+        """Blocking bulk store: returns when every chunk is acknowledged
+        ("the sender blocks after every transfer waiting for an
+        acknowledgement", §2.4)."""
+        op = yield from self._begin_store(dst, local_addr, remote_addr,
+                                          nbytes, handler, arg)
+        yield from self.wait_op(op)
+        return op
+
+    def store_async(self, dst: int, local_addr: int, remote_addr: int,
+                    nbytes: int, handler: Callable = None, arg: int = 0,
+                    completion_fn: Optional[Callable] = None):
+        """Non-blocking bulk store: returns a :class:`BulkSendOp` handle
+        immediately after injecting what the chunk pipeline allows;
+        ``completion_fn(op)`` runs (inside a later poll) when done."""
+        op = yield from self._begin_store(dst, local_addr, remote_addr,
+                                          nbytes, handler, arg, completion_fn)
+        return op
+
+    def get(self, dst: int, remote_addr: int, local_addr: int, nbytes: int,
+            handler: Callable = None, arg: int = 0):
+        """Blocking bulk get: fetch ``nbytes`` from ``dst``'s memory."""
+        op_done = self.sim.event(f"am[{self.node.id}].get")
+        yield from self._begin_get(dst, remote_addr, local_addr, nbytes,
+                                   handler, arg, op_done)
+        while not op_done.triggered:
+            yield from self._wait_progress()
+        return op_done.value
+
+    def get_async(self, dst: int, remote_addr: int, local_addr: int,
+                  nbytes: int, handler: Callable = None, arg: int = 0):
+        """Non-blocking get; completion signalled via the returned event
+        (and ``handler`` runs locally when the data has landed)."""
+        op_done = self.sim.event(f"am[{self.node.id}].get")
+        yield from self._begin_get(dst, remote_addr, local_addr, nbytes,
+                                   handler, arg, op_done)
+        return op_done
+
+    def poll(self, limit: Optional[int] = None):
+        """am_poll: drain arrived packets, dispatching handlers (§1.1).
+
+        Charges the paper's 1.3 us empty-poll cost plus 1.8 us per
+        received message (§2.5).  Returns the number of messages handled.
+        """
+        if self._in_handler:
+            raise HandlerRestrictionError("am_poll may not be called from a handler")
+        yield from self.node.compute(self.host.poll_empty)
+        return (yield from self._drain(limit))
+
+    def wait_op(self, op: BulkSendOp):
+        """Block until a bulk op completes (all chunks acknowledged)."""
+        while not op.done.triggered:
+            yield from self._wait_progress()
+
+    # ------------------------------------------------------------------
+    # request / reply internals
+    # ------------------------------------------------------------------
+
+    def _peer(self, dst: int) -> _PeerState:
+        st = self._peers.get(dst)
+        if st is None:
+            st = self._peers[dst] = _PeerState()
+        return st
+
+    def _request(self, dst: int, handler: Callable, args: Tuple[int, ...]):
+        if self._in_handler:
+            raise HandlerRestrictionError(
+                "handlers may not issue requests; reply via the token"
+            )
+        if dst == self.node.id:
+            raise ValueError("AM requests must address a remote node")
+        c = self.costs
+        peer = self._peer(dst)
+        win = peer.send[REQUEST_CHANNEL]
+        # credit + FIFO space: am_request services the network while blocked
+        while not (win.can_send(1) and self.adapter.host_can_stage(1)):
+            yield from self._wait_progress()
+        hid = self.handlers.register(handler)
+        pkt = Packet(src=self.node.id, dst=dst, kind=PacketKind.REQUEST,
+                     channel=REQUEST_CHANNEL, handler=hid, args=args)
+        # build + flush the FIFO entry, then the length-array PIO
+        yield from self.node.compute(
+            c.req_fixed + c.per_word * (len(args) - 1)
+            + flush_cost(pkt.wire_bytes, self.host) + self.host.mc_pio
+        )
+        seq = win.allocate(1)
+        pkt.seq = seq
+        self._stamp_acks(pkt, peer)
+        self.adapter.host_stage(pkt)
+        self.adapter.host_arm()
+        yield from self.node.compute(c.save_retransmit)
+        win.save(seq, [pkt])
+        self.stats.count("requests_sent")
+        # "each call to am_request checks the network" (§1.1)
+        yield from self.poll()
+
+    def _send_reply(self, dst: int, handler: Callable, args: Tuple[int, ...]):
+        """Reply path — runs inside a handler (driven by run_handler)."""
+        c = self.costs
+        hid = self.handlers.register(handler)
+        yield from self.node.compute(
+            c.rep_fixed + c.per_word * (len(args) - 1)
+        )
+        peer = self._peer(dst)
+        win = peer.send[REPLY_CHANNEL]
+        if not (win.can_send(1) and self.adapter.host_can_stage(1)):
+            # handlers cannot block: defer; a later poll sends it
+            self._deferred_replies.append((dst, hid, args))
+            self.stats.count("replies_deferred")
+            return
+        yield from self._emit_reply(dst, hid, args)
+
+    def _emit_reply(self, dst: int, hid: int, args: Tuple[int, ...]):
+        c = self.costs
+        peer = self._peer(dst)
+        win = peer.send[REPLY_CHANNEL]
+        pkt = Packet(src=self.node.id, dst=dst, kind=PacketKind.REPLY,
+                     channel=REPLY_CHANNEL, handler=hid, args=args)
+        yield from self.node.compute(
+            flush_cost(pkt.wire_bytes, self.host) + self.host.mc_pio
+        )
+        pkt.seq = win.allocate(1)
+        self._stamp_acks(pkt, peer)
+        self.adapter.host_stage(pkt)
+        self.adapter.host_arm()
+        yield from self.node.compute(c.save_retransmit)
+        win.save(pkt.seq, [pkt])
+        self.stats.count("replies_sent")
+
+    def _stamp_acks(self, pkt: Packet, peer: _PeerState) -> None:
+        """Piggyback cumulative acks for both channels (§2.2)."""
+        pkt.ack_req = peer.recv[REQUEST_CHANNEL].ack_value()
+        pkt.ack_rep = peer.recv[REPLY_CHANNEL].ack_value()
+
+    # ------------------------------------------------------------------
+    # bulk transfer internals
+    # ------------------------------------------------------------------
+
+    def _begin_store(self, dst, local_addr, remote_addr, nbytes,
+                     handler, arg, completion_fn=None):
+        if self._in_handler:
+            raise HandlerRestrictionError("handlers may not start stores")
+        if nbytes < 0:
+            raise ValueError("negative store size")
+        c = self.costs
+        yield from self.node.compute(c.store_fixed)
+        hid = self.handlers.register(handler) if handler is not None else -1
+        data = self.node.memory.read(local_addr, nbytes)
+        done = self.sim.event(f"am[{self.node.id}].store")
+        # `arg` may be a single word or a tuple of up to four words; the
+        # completion handler receives them after (addr, nbytes) — this is
+        # how MPI's buffered protocol ships its envelope (§4.1)
+        handler_args = arg if isinstance(arg, tuple) else (arg,)
+        op = BulkSendOp(self._take_token(), dst, REQUEST_CHANNEL, data,
+                        remote_addr, hid, handler_args, done, completion_fn)
+        self.stats.count("stores_started")
+        if op.total_chunks == 0:
+            done.succeed(op)
+            if completion_fn is not None:
+                completion_fn(op)
+            return op
+        self._active_sends.append(op)
+        yield from self._pump_send(op)
+        return op
+
+    def _begin_get(self, dst, remote_addr, local_addr, nbytes,
+                   handler, arg, op_done):
+        if self._in_handler:
+            raise HandlerRestrictionError("handlers may not start gets")
+        if nbytes <= 0:
+            raise ValueError("get size must be positive")
+        c = self.costs
+        peer = self._peer(dst)
+        win = peer.send[REQUEST_CHANNEL]
+        while not (win.can_send(1) and self.adapter.host_can_stage(1)):
+            yield from self._wait_progress()
+        hid = self.handlers.register(handler) if handler is not None else -1
+        token = self._take_token()
+        get_key = (dst, token)
+        pkt = Packet(src=self.node.id, dst=dst, kind=PacketKind.GET_REQUEST,
+                     channel=REQUEST_CHANNEL, handler=hid,
+                     args=(remote_addr, arg), addr=local_addr,
+                     total_len=nbytes, op_token=token)
+        yield from self.node.compute(
+            c.get_fixed + flush_cost(pkt.wire_bytes, self.host) + self.host.mc_pio
+        )
+        pkt.seq = win.allocate(1)
+        self._stamp_acks(pkt, peer)
+        self.adapter.host_stage(pkt)
+        self.adapter.host_arm()
+        yield from self.node.compute(c.save_retransmit)
+        win.save(pkt.seq, [pkt])
+        # local completion bookkeeping: data arrives as GET_DATA
+        self._bulk_recv[get_key] = BulkRecvState(
+            src=dst, token=token, addr=local_addr, total_len=nbytes,
+            handler=hid, handler_args=(arg,))
+        self._get_waiters[get_key] = op_done
+        self.stats.count("gets_started")
+
+    def _take_token(self) -> int:
+        t = self._next_token
+        self._next_token += 1
+        return t
+
+    def _pump_send(self, op: BulkSendOp):
+        """Transmit every chunk the pipeline and window currently allow."""
+        c = self.costs
+        peer = self._peer(op.dst)
+        win = peer.send[op.channel]
+        while op.sendable_now():
+            npk = packets_in_chunk(op.chunks[op.next_chunk][1])
+            if not win.can_send(npk):
+                break
+            idx, off, length = op.take_chunk()
+            yield from self._send_chunk(op, peer, win, idx, off, length, npk)
+
+    #: packets armed per length-array PIO during bulk transfers ("writing
+    #: the lengths of several packets at a time", §2.1) — small enough
+    #: that the wire starts while later packets are still being staged
+    ARM_BATCH = 4
+
+    def _send_chunk(self, op, peer, win, idx, off, length, npk):
+        """Stage one chunk's packets, arming in ARM_BATCH sub-batches so
+        injection overlaps transmission on the wire."""
+        c = self.costs
+        seq = win.allocate(npk)
+        kind = (PacketKind.STORE_DATA if op.channel == REQUEST_CHANNEL
+                else PacketKind.GET_DATA)
+        packets: List[Packet] = []
+        for poff in range(0, length, PACKET_PAYLOAD_BYTES):
+            payload = op.data[off + poff: off + min(poff + PACKET_PAYLOAD_BYTES, length)]
+            pkt = Packet(src=self.node.id, dst=op.dst, kind=kind,
+                         channel=op.channel, seq=seq,
+                         handler=op.handler, args=op.handler_args,
+                         payload=payload, addr=op.remote_addr,
+                         offset=off + poff, total_len=len(op.data),
+                         chunk_packets=npk, op_token=op.token)
+            self._stamp_acks(pkt, peer)
+            packets.append(pkt)
+        staged = 0
+        for p in packets:
+            yield from self.node.compute(
+                c.store_per_packet + flush_cost(p.wire_bytes, self.host)
+            )
+            while not self.adapter.host_can_stage(1):
+                # send-FIFO backpressure: wait for the adapter to drain one
+                # entry (it transmits every ~6.5 us)
+                yield Delay(3.3)
+            self.adapter.host_stage(p)
+            staged += 1
+            if staged % self.ARM_BATCH == 0:
+                yield from self.node.compute(self.host.mc_pio)
+                self.adapter.host_arm()
+        if staged % self.ARM_BATCH:
+            yield from self.node.compute(self.host.mc_pio)
+            self.adapter.host_arm()
+        win.save(seq, packets)
+        peer.pending_units[op.channel].append((seq + npk, op, idx))
+        self.stats.count("chunks_sent")
+        self.stats.count("bulk_packets_sent", npk)
+
+    # ------------------------------------------------------------------
+    # the poll loop
+    # ------------------------------------------------------------------
+
+    def _drain(self, limit: Optional[int] = None):
+        """Consume arrived packets + perform flow-control duties."""
+        handled = 0
+        while self.adapter.host_recv_available() > 0:
+            if limit is not None and handled >= limit:
+                break
+            pkt = self.adapter.host_recv_consume()
+            yield from self.node.compute(self.host.poll_per_packet)
+            yield from self._process(pkt)
+            handled += 1
+            if self.adapter.host_recv_should_pop():
+                # lazy pop: flush the consumed entries + one PIO (§2.1)
+                batch = self.adapter.recv_fifo.pending_pop
+                yield from self.node.compute(
+                    self.host.mc_pio + flush_cost(batch * 256, self.host)
+                )
+                self.adapter.host_recv_pop_batch()
+        yield from self._do_duties()
+        return handled
+
+    def _process(self, pkt: Packet):
+        self._apply_acks(pkt)
+        kind = pkt.kind
+        if kind in (PacketKind.REQUEST, PacketKind.REPLY):
+            yield from self._process_small(pkt)
+        elif kind in (PacketKind.STORE_DATA, PacketKind.GET_DATA):
+            yield from self._process_bulk(pkt)
+        elif kind == PacketKind.GET_REQUEST:
+            yield from self._process_get_request(pkt)
+        elif kind == PacketKind.ACK:
+            pass  # carried only its ack fields, already applied
+        elif kind == PacketKind.NACK:
+            yield from self._process_nack(pkt)
+        elif kind == PacketKind.KEEPALIVE:
+            yield from self._process_keepalive(pkt)
+        elif kind == PacketKind.RAW:
+            self._raw_inbox.append(pkt)
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(f"unhandled packet kind {kind}")
+
+    def _apply_acks(self, pkt: Packet):
+        if pkt.ack_req < 0 and pkt.ack_rep < 0:
+            return
+        peer = self._peer(pkt.src)
+        for channel, ack in ((REQUEST_CHANNEL, pkt.ack_req),
+                             (REPLY_CHANNEL, pkt.ack_rep)):
+            if ack < 0:
+                continue
+            win = peer.send[channel]
+            if ack > win.base:
+                win.on_ack(ack)
+                self._keepalive_backoff = 1.0
+                self._complete_units(peer, channel, ack)
+
+    def _complete_units(self, peer: _PeerState, channel: int, ack: int):
+        pending = peer.pending_units[channel]
+        while pending and pending[0][0] <= ack:
+            _end, op, _idx = pending.pop(0)
+            if op.on_chunk_acked():
+                self._finish_send_op(op)
+            self._sendable_ops_dirty = True
+
+    def _finish_send_op(self, op: BulkSendOp):
+        if op in self._active_sends:
+            self._active_sends.remove(op)
+        op.done.succeed(op)
+        if op.completion_fn is not None:
+            op.completion_fn(op)
+        self.stats.count("bulk_ops_completed")
+
+    def _process_small(self, pkt: Packet):
+        channel = pkt.channel
+        peer = self._peer(pkt.src)
+        rwin = peer.recv[channel]
+        verdict, unit = rwin.accept(pkt)
+        if verdict == "deliver":
+            yield from self._dispatch(pkt)
+        elif verdict == "duplicate":
+            self.stats.count("duplicates_dropped")
+        elif verdict == "nack":
+            yield from self._send_nack(pkt.src, rwin)
+
+    def _dispatch(self, pkt: Packet):
+        fn = self.handlers.lookup(pkt.handler)
+        token = ReplyToken(self, pkt.src)
+        self._in_handler = True
+        try:
+            yield from run_handler(fn, token, *pkt.args)
+        finally:
+            self._in_handler = False
+        self.stats.count("handlers_run")
+
+    def _process_bulk(self, pkt: Packet):
+        channel = pkt.channel
+        peer = self._peer(pkt.src)
+        rwin = peer.recv[channel]
+        verdict, unit = rwin.accept(pkt)
+        if verdict in ("deliver", "partial"):
+            # copy payload out of the FIFO entry into the user buffer
+            yield from self.node.compute(
+                self.costs.bulk_recv_fixed + copy_cost(len(pkt.payload), self.host)
+            )
+            self.node.memory.write(pkt.addr + pkt.offset, pkt.payload)
+            yield from self._bulk_progress(pkt)
+            if verdict == "deliver":
+                # one explicit acknowledgement per chunk (§2.2)
+                yield from self._send_ack(pkt.src)
+                self.stats.count("chunk_acks_sent")
+        elif verdict == "duplicate":
+            self.stats.count("duplicates_dropped")
+        else:
+            yield from self._send_nack(pkt.src, rwin)
+
+    def _bulk_progress(self, pkt: Packet):
+        key = (pkt.src, pkt.op_token)
+        st = self._bulk_recv.get(key)
+        if st is None:
+            st = self._bulk_recv[key] = BulkRecvState(
+                src=pkt.src, token=pkt.op_token, addr=pkt.addr,
+                total_len=pkt.total_len, handler=pkt.handler,
+                handler_args=pkt.args)
+        if st.add(len(pkt.payload)):
+            del self._bulk_recv[key]
+            if pkt.kind == PacketKind.GET_DATA:
+                waiter = self._get_waiters.pop(key, None)
+                if waiter is not None:
+                    waiter.succeed(st)
+            if st.handler >= 0:
+                fn = self.handlers.lookup(st.handler)
+                token = ReplyToken(self, st.src)
+                self._in_handler = True
+                try:
+                    yield from run_handler(fn, token, st.addr, st.total_len,
+                                           *st.handler_args)
+                finally:
+                    self._in_handler = False
+            self.stats.count("bulk_recv_completed")
+
+    def _process_get_request(self, pkt: Packet):
+        peer = self._peer(pkt.src)
+        rwin = peer.recv[pkt.channel]
+        verdict, _ = rwin.accept(pkt)
+        if verdict == "duplicate":
+            self.stats.count("duplicates_dropped")
+            return
+        if verdict == "nack":
+            yield from self._send_nack(pkt.src, rwin)
+            return
+        yield from self.node.compute(self.costs.get_serve)
+        remote_addr = pkt.args[0]
+        data = self.node.memory.read(remote_addr, pkt.total_len)
+        done = self.sim.event(f"am[{self.node.id}].get_serve")
+        op = BulkSendOp(pkt.op_token, pkt.src, REPLY_CHANNEL, data,
+                        pkt.addr, pkt.handler, (pkt.args[1],), done)
+        self._active_sends.append(op)
+        self.stats.count("gets_served")
+        yield from self._pump_send(op)
+
+    # ------------------------------------------------------------------
+    # flow control: acks, nacks, keepalive, retransmission
+    # ------------------------------------------------------------------
+
+    def _send_control(self, dst: int, kind: PacketKind):
+        c = self.costs
+        peer = self._peer(dst)
+        while not self.adapter.host_can_stage(1):
+            yield Delay(2.0)
+        pkt = Packet(src=self.node.id, dst=dst, kind=kind)
+        self._stamp_acks(pkt, peer)
+        yield from self.node.compute(
+            c.ack_send + flush_cost(pkt.wire_bytes, self.host) + self.host.mc_pio
+        )
+        self.adapter.host_stage(pkt)
+        self.adapter.host_arm()
+
+    def _send_ack(self, dst: int):
+        yield from self._send_control(dst, PacketKind.ACK)
+        self.stats.count("explicit_acks_sent")
+
+    def _send_nack(self, dst: int, rwin: RecvWindow):
+        if rwin.nack_outstanding:
+            self.stats.count("nacks_suppressed")
+            return
+        rwin.nack_outstanding = True
+        yield from self._send_control(dst, PacketKind.NACK)
+        self.stats.count("nacks_sent")
+
+    def _process_nack(self, pkt: Packet):
+        """Go-back-N: retransmit saved packets the peer reports missing."""
+        yield from self.node.compute(self.costs.nack_process)
+        peer = self._peer(pkt.src)
+        resent = 0
+        for channel, ack in ((REQUEST_CHANNEL, pkt.ack_req),
+                             (REPLY_CHANNEL, pkt.ack_rep)):
+            if ack < 0:
+                continue
+            for old in peer.send[channel].unacked_from(ack):
+                while not self.adapter.host_can_stage(1):
+                    yield Delay(2.0)
+                self._stamp_acks(old, peer)
+                yield from self.node.compute(
+                    self.costs.store_per_packet
+                    + flush_cost(old.wire_bytes, self.host)
+                )
+                self.adapter.host_stage(old)
+                resent += 1
+        if resent:
+            yield from self.node.compute(self.host.mc_pio)
+            self.adapter.host_arm()
+            self.stats.count("retransmissions", resent)
+
+    def _process_keepalive(self, pkt: Packet):
+        """§2.2: a keep-alive probe forces NACKs back to the initiator so
+        any lost tail packets are retransmitted."""
+        peer = self._peer(pkt.src)
+        # answer with the current expected values; do not rate-limit —
+        # the probe explicitly asks for state
+        for ch in (REQUEST_CHANNEL, REPLY_CHANNEL):
+            peer.recv[ch].nack_outstanding = False
+        yield from self._send_control(pkt.src, PacketKind.NACK)
+        self.stats.count("keepalive_nacks_sent")
+
+    def _do_duties(self):
+        """End-of-poll flow-control work: deferred replies, quarter-window
+        explicit acks, and newly-unblocked bulk chunks."""
+        while self._deferred_replies:
+            dst, hid, args = self._deferred_replies[0]
+            win = self._peer(dst).send[REPLY_CHANNEL]
+            if not (win.can_send(1) and self.adapter.host_can_stage(1)):
+                break
+            self._deferred_replies.popleft()
+            yield from self._emit_reply(dst, hid, args)
+        for dst, peer in self._peers.items():
+            for ch in (REQUEST_CHANNEL, REPLY_CHANNEL):
+                if peer.recv[ch].explicit_ack_due:
+                    yield from self._send_ack(dst)
+        if self._sendable_ops_dirty:
+            self._sendable_ops_dirty = False
+            for op in list(self._active_sends):
+                if op.sendable_now():
+                    yield from self._pump_send(op)
+
+    def _send_keepalives(self):
+        sent = 0
+        for dst, peer in self._peers.items():
+            if any(w.has_unacked for w in peer.send):
+                yield from self._send_control(dst, PacketKind.KEEPALIVE)
+                sent += 1
+        self.stats.count("keepalives_sent", sent)
+
+    def _wait_progress(self):
+        """Blocked on credit / acks / completion: service the network; if
+        idle, sleep until the next arrival (equivalent in simulated time
+        to the paper's poll spinning) with a keep-alive timeout."""
+        if self.adapter.host_recv_available() == 0:
+            ev = self.adapter.arrival_event()
+            res = yield Timeout(
+                ev, self.costs.keepalive_idle * self._keepalive_backoff)
+            if res is TIMED_OUT:
+                yield from self._send_keepalives()
+                self._keepalive_backoff = min(self._keepalive_backoff * 2,
+                                              64.0)
+        yield from self.poll()

@@ -1,0 +1,342 @@
+"""Generic Active Messages on the Table-4 peer machines.
+
+The CM-5, Meiko CS-2, and U-Net/ATM AM ports are characterized in the
+paper purely by their LogP numbers (per-message overhead, latency,
+bandwidth).  This implementation provides the same API as
+:class:`~repro.am.endpoint.SPAM` with those costs and a reliable, ordered
+fabric underneath — the right level of detail for the Split-C
+cross-machine comparison (Table 5 / Figure 4), which depends on message
+counts, overheads, and bandwidths rather than on the SP-specific
+flow-control machinery.
+
+Bulk transfers fragment at 1 KB: large enough that these machines' bulk
+bandwidth is wire-limited (as measured in their AM papers), small enough
+that per-fragment overhead shows up for medium messages.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+from repro.am.handler import HandlerRestrictionError, HandlerTable, run_handler
+from repro.hardware.packet import PACKET_HEADER_BYTES
+from repro.sim.primitives import TIMED_OUT, Delay, Timeout
+from repro.sim.stats import StatRegistry
+
+
+class _Fragment:
+    """A bulk fragment on a generic fabric: arbitrary payload length."""
+
+    __slots__ = ("src", "dst", "kind", "handler", "args", "payload", "addr",
+                 "offset", "total_len", "op_token", "wire_bytes", "seq",
+                 "ack_req", "ack_rep", "channel", "chunk_packets")
+
+    def __init__(self, src, dst, kind, handler, args, payload, addr,
+                 offset, total_len, op_token):
+        self.src = src
+        self.dst = dst
+        self.kind = kind  # "store", "get_data"
+        self.handler = handler
+        self.args = args
+        self.payload = payload
+        self.addr = addr
+        self.offset = offset
+        self.total_len = total_len
+        self.op_token = op_token
+        self.wire_bytes = PACKET_HEADER_BYTES + len(payload)
+
+
+class _Request:
+    __slots__ = ("src", "dst", "kind", "handler", "args", "addr",
+                 "total_len", "op_token", "wire_bytes")
+
+    def __init__(self, src, dst, kind, handler, args, addr=0,
+                 total_len=0, op_token=0, nwords=1):
+        self.src = src
+        self.dst = dst
+        self.kind = kind  # "request", "reply", "get_request"
+        self.handler = handler
+        self.args = args
+        self.addr = addr
+        self.total_len = total_len
+        self.op_token = op_token
+        self.wire_bytes = PACKET_HEADER_BYTES + 4 * nwords
+
+
+class GenericReplyToken:
+    """Reply capability for generic-AM handlers (one reply max)."""
+
+    __slots__ = ("am", "src", "_used")
+
+    def __init__(self, am: "GenericAM", src: int):
+        self.am = am
+        self.src = src
+        self._used = False
+
+    def _claim(self):
+        if self._used:
+            raise HandlerRestrictionError("handler already sent its one reply")
+        self._used = True
+
+    def reply_1(self, handler, a0):
+        """Send the handler's one 1-word reply."""
+        self._claim()
+        return self.am._send_reply(self.src, handler, (a0,))
+
+    def reply_2(self, handler, a0, a1):
+        """Send the handler's one 2-word reply."""
+        self._claim()
+        return self.am._send_reply(self.src, handler, (a0, a1))
+
+    def reply_3(self, handler, a0, a1, a2):
+        """Send the handler's one 3-word reply."""
+        self._claim()
+        return self.am._send_reply(self.src, handler, (a0, a1, a2))
+
+    def reply_4(self, handler, a0, a1, a2, a3):
+        """Send the handler's one 4-word reply."""
+        self._claim()
+        return self.am._send_reply(self.src, handler, (a0, a1, a2, a3))
+
+
+class _OpHandle:
+    """Async-op handle matching SPAM's BulkSendOp surface (.done event)."""
+
+    __slots__ = ("done",)
+
+    def __init__(self, done):
+        self.done = done
+
+    @property
+    def complete(self) -> bool:
+        """Whether the operation's done event has fired."""
+        return self.done.triggered
+
+
+class GenericAM:
+    """Active Messages with LogP costs on a generic machine."""
+
+    FRAGMENT_BYTES = 1024
+
+    def __init__(self, node, handlers: HandlerTable):
+        if node.nic is None:
+            raise ValueError("GenericAM needs a node with a GenericNIC")
+        self.node = node
+        self.nic = node.nic
+        self.handlers = handlers
+        self.sim = node.sim
+        self.host = node.host
+        self.params = node.nic.params
+        self.stats = StatRegistry(f"gam[{node.id}].")
+        self._in_handler = False
+        self._next_token = 1
+        self._bulk_recv: Dict[Tuple[int, int], list] = {}
+        self._store_waiters: Dict[Tuple[int, int], Any] = {}
+        self._get_waiters: Dict[Tuple[int, int], Any] = {}
+        self.net_time_accum = 0.0
+        node.am = self
+
+    # -- small messages -----------------------------------------------
+
+    def register(self, fn: Callable) -> int:
+        """Register an AM handler (machine-wide id)."""
+        return self.handlers.register(fn)
+
+    def request_1(self, dst, handler, a0):
+        """Send a 1-word request (LogP o_send charged)."""
+        return self._request(dst, handler, (a0,))
+
+    def request_2(self, dst, handler, a0, a1):
+        """Send a 2-word request (LogP o_send charged)."""
+        return self._request(dst, handler, (a0, a1))
+
+    def request_3(self, dst, handler, a0, a1, a2):
+        """Send a 3-word request (LogP o_send charged)."""
+        return self._request(dst, handler, (a0, a1, a2))
+
+    def request_4(self, dst, handler, a0, a1, a2, a3):
+        """Send a 4-word request (LogP o_send charged)."""
+        return self._request(dst, handler, (a0, a1, a2, a3))
+
+    def _request(self, dst, handler, args):
+        if self._in_handler:
+            raise HandlerRestrictionError("handlers may not issue requests")
+        hid = self.handlers.register(handler)
+        yield from self.node.compute(self.params.o_send)
+        self.nic.host_send(_Request(self.node.id, dst, "request", hid, args,
+                                    nwords=len(args)))
+        self.stats.count("requests_sent")
+        yield from self.poll()
+
+    def _send_reply(self, dst, handler, args):
+        hid = self.handlers.register(handler)
+        yield from self.node.compute(self.params.o_send)
+        self.nic.host_send(_Request(self.node.id, dst, "reply", hid, args,
+                                    nwords=len(args)))
+        self.stats.count("replies_sent")
+
+    # -- bulk ------------------------------------------------------------
+
+    def store(self, dst, local_addr, remote_addr, nbytes,
+              handler: Callable = None, arg: int = 0):
+        """Blocking bulk store (completes on the receiver's ack)."""
+        op = yield from self.store_async(dst, local_addr, remote_addr,
+                                         nbytes, handler, arg)
+        yield from self.wait_op(op)
+        return op
+
+    def wait_op(self, op: "_OpHandle"):
+        """Block until an async bulk op completes."""
+        while not op.done.triggered:
+            yield from self._wait_progress()
+
+    def store_async(self, dst, local_addr, remote_addr, nbytes,
+                    handler: Callable = None, arg: int = 0,
+                    completion_fn: Optional[Callable] = None):
+        """Non-blocking bulk store; returns a handle with a .done event."""
+        if self._in_handler:
+            raise HandlerRestrictionError("handlers may not start stores")
+        hid = self.handlers.register(handler) if handler is not None else -1
+        token = self._next_token
+        self._next_token += 1
+        data = self.node.memory.read(local_addr, nbytes)
+        done = self.sim.event(f"gam[{self.node.id}].store")
+        handle = _OpHandle(done)
+        if completion_fn is not None:
+            done.add_waiter(lambda _v: completion_fn(handle))
+        if nbytes == 0:
+            done.succeed(None)
+            return handle
+        # completion is signalled by the receiver's store_ack (mirroring
+        # SP AM, whose blocking stores wait for the chunk acknowledgement)
+        self._store_waiters[(dst, token)] = done
+        handler_args = arg if isinstance(arg, tuple) else (arg,)
+        yield from self._inject_fragments(dst, "store", data, remote_addr,
+                                          hid, handler_args, token)
+        self.stats.count("stores_started")
+        return handle
+
+    def get(self, dst, remote_addr, local_addr, nbytes,
+            handler: Callable = None, arg: int = 0):
+        """Blocking bulk get from the remote node's memory."""
+        done = yield from self.get_async(dst, remote_addr, local_addr,
+                                         nbytes, handler, arg)
+        while not done.triggered:
+            yield from self._wait_progress()
+        return done
+
+    def get_async(self, dst, remote_addr, local_addr, nbytes,
+                  handler: Callable = None, arg: int = 0):
+        """Non-blocking get; returns the completion event."""
+        if self._in_handler:
+            raise HandlerRestrictionError("handlers may not start gets")
+        if nbytes <= 0:
+            raise ValueError("get size must be positive")
+        hid = self.handlers.register(handler) if handler is not None else -1
+        token = self._next_token
+        self._next_token += 1
+        done = self.sim.event(f"gam[{self.node.id}].get")
+        self._get_waiters[(dst, token)] = done
+        yield from self.node.compute(self.params.o_send)
+        self.nic.host_send(_Request(self.node.id, dst, "get_request", hid,
+                                    (remote_addr, arg), addr=local_addr,
+                                    total_len=nbytes, op_token=token,
+                                    nwords=4))
+        self.stats.count("gets_started")
+        return done
+
+    def _inject_fragments(self, dst, kind, data, remote_addr, hid, args, token):
+        frag = self.FRAGMENT_BYTES
+        for off in range(0, len(data), frag):
+            payload = data[off: off + frag]
+            yield from self.node.compute(self.params.o_send)
+            self.nic.host_send(_Fragment(self.node.id, dst, kind, hid, args,
+                                         payload, remote_addr, off,
+                                         len(data), token))
+
+    # -- polling -----------------------------------------------------------
+
+    def poll(self, limit: Optional[int] = None):
+        """am_poll: drain arrivals, dispatching handlers."""
+        if self._in_handler:
+            raise HandlerRestrictionError("am_poll may not be called from a handler")
+        yield from self.node.compute(self.host.poll_empty)
+        handled = 0
+        while self.nic.host_recv_available() > 0:
+            if limit is not None and handled >= limit:
+                break
+            msg = self.nic.host_recv_consume()
+            yield from self.node.compute(self.params.o_recv)
+            yield from self._process(msg)
+            handled += 1
+        return handled
+
+    def _process(self, msg):
+        if isinstance(msg, _Request):
+            if msg.kind in ("request", "reply"):
+                fn = self.handlers.lookup(msg.handler)
+                token = GenericReplyToken(self, msg.src)
+                self._in_handler = True
+                try:
+                    yield from run_handler(fn, token, *msg.args)
+                finally:
+                    self._in_handler = False
+                self.stats.count("handlers_run")
+            elif msg.kind == "get_request":
+                data = self.node.memory.read(msg.args[0], msg.total_len)
+                yield from self._inject_fragments(
+                    msg.src, "get_data", data, msg.addr, msg.handler,
+                    (msg.args[1],), msg.op_token)
+                self.stats.count("gets_served")
+            elif msg.kind == "store_ack":
+                waiter = self._store_waiters.pop((msg.src, msg.op_token), None)
+                if waiter is not None:
+                    waiter.succeed(None)
+            else:  # pragma: no cover - exhaustive
+                raise AssertionError(msg.kind)
+        elif isinstance(msg, _Fragment):
+            yield from self.node.compute(len(msg.payload) / self.host.copy_rate)
+            self.node.memory.write(msg.addr + msg.offset, msg.payload)
+            key = (msg.src, msg.op_token)
+            got = self._bulk_recv.get(key, 0) + len(msg.payload)
+            if got >= msg.total_len:
+                self._bulk_recv.pop(key, None)
+                if msg.kind == "get_data":
+                    waiter = self._get_waiters.pop(key, None)
+                    if waiter is not None:
+                        waiter.succeed(None)
+                elif msg.kind == "store":
+                    yield from self.node.compute(self.params.o_send)
+                    self.nic.host_send(_Request(self.node.id, msg.src,
+                                                "store_ack", -1, (),
+                                                op_token=msg.op_token))
+                if msg.handler >= 0:
+                    fn = self.handlers.lookup(msg.handler)
+                    token = GenericReplyToken(self, msg.src)
+                    self._in_handler = True
+                    try:
+                        yield from run_handler(fn, token, msg.addr,
+                                               msg.total_len, *msg.args)
+                    finally:
+                        self._in_handler = False
+                self.stats.count("bulk_recv_completed")
+            else:
+                self._bulk_recv[key] = got
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(type(msg))
+
+    def _wait_progress(self):
+        if self.nic.host_recv_available() == 0:
+            ev = self.nic.arrival_event()
+            # generous guard: peers may sit in near-second compute phases
+            # (a CM-5 128x128 dgemm costs ~0.8 s of simulated time) and
+            # bulk-store acks trail their data; a true hang is caught by
+            # the simulator's deadlock detection anyway
+            res = yield Timeout(ev, 5_000_000.0)
+            if res is TIMED_OUT:
+                raise RuntimeError(
+                    f"generic AM on node {self.node.id} stalled 5 s with "
+                    "no arrivals (reliable fabric should never stall)"
+                )
+        yield from self.poll()

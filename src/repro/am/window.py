@@ -1,0 +1,164 @@
+"""Sliding-window state machines for one (peer, channel) direction (§2.2).
+
+The sender keeps every unacknowledged packet for retransmission; the
+receiver accepts only the expected sequence number (go-back-N).  Packets of
+one chunk share the chunk's base sequence number and are ordered within the
+chunk by their address offsets; the window slides by the number of packets
+in the chunk and the whole chunk is covered by a single acknowledgement.
+
+Invariants (property-tested in ``tests/am/test_window_properties.py``):
+
+* the receiver delivers transfer units exactly once, in sequence order;
+* ``in_flight <= window`` at the sender, always;
+* a cumulative ack never moves backwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.hardware.packet import Packet
+
+
+class SendWindow:
+    """Sender side: sequence allocation, credit, retransmission buffer."""
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.next_seq = 0
+        self.base = 0  # oldest unacknowledged sequence number
+        #: seq -> packets saved for retransmission (one entry per transfer
+        #: unit: a single packet or a whole chunk)
+        self._saved: Dict[int, List[Packet]] = {}
+
+    @property
+    def in_flight(self) -> int:
+        """Unacknowledged sequence numbers currently outstanding."""
+        return self.next_seq - self.base
+
+    def can_send(self, npackets: int = 1) -> bool:
+        """Whether the window has credit for ``npackets`` more."""
+        return self.in_flight + npackets <= self.window
+
+    def allocate(self, npackets: int = 1) -> int:
+        """Claim ``npackets`` sequence numbers; returns the base seq."""
+        if not self.can_send(npackets):
+            raise RuntimeError(
+                f"window overflow: {self.in_flight}+{npackets} > {self.window}"
+            )
+        seq = self.next_seq
+        self.next_seq += npackets
+        return seq
+
+    def save(self, seq: int, packets: List[Packet]) -> None:
+        """Keep a transfer unit for possible go-back-N retransmission."""
+        self._saved[seq] = packets
+
+    def on_ack(self, ack: int) -> int:
+        """Cumulative ack: all seq < ack received.  Returns packets freed."""
+        if ack <= self.base:
+            return 0
+        if ack > self.next_seq:
+            raise ValueError(
+                f"ack {ack} beyond next_seq {self.next_seq} (corrupt peer?)"
+            )
+        freed = 0
+        for seq in [s for s in self._saved if s < ack]:
+            freed += len(self._saved.pop(seq))
+        self.base = ack
+        return freed
+
+    def unacked_from(self, seq: int) -> List[Packet]:
+        """All saved packets with sequence >= seq, in order (go-back-N)."""
+        out: List[Packet] = []
+        for s in sorted(self._saved):
+            if s >= seq:
+                out.extend(self._saved[s])
+        return out
+
+    @property
+    def has_unacked(self) -> bool:
+        """Whether any saved packets still await acknowledgement."""
+        return bool(self._saved)
+
+
+class _ChunkAssembly:
+    """Reassembly of one in-progress chunk at the receiver."""
+
+    __slots__ = ("npackets", "received_offsets", "packets")
+
+    def __init__(self, npackets: int):
+        self.npackets = npackets
+        self.received_offsets: set = set()
+        self.packets: List[Packet] = []
+
+    def add(self, pkt: Packet) -> str:
+        """Returns 'duplicate', 'partial', or 'complete'."""
+        if pkt.offset in self.received_offsets:
+            # a go-back-N retransmission re-sends offsets that survived
+            # the original loss; they must not be double-counted
+            return "duplicate"
+        self.received_offsets.add(pkt.offset)
+        self.packets.append(pkt)
+        return ("complete" if len(self.received_offsets) == self.npackets
+                else "partial")
+
+
+class RecvWindow:
+    """Receiver side: in-sequence acceptance, chunk reassembly, ack duty."""
+
+    def __init__(self, window: int, ack_threshold: int):
+        self.window = window
+        self.ack_threshold = ack_threshold
+        self.expected = 0
+        #: how many accepted packets the peer hasn't been told about yet
+        self.unacked_count = 0
+        self._assembly: Optional[_ChunkAssembly] = None
+        #: set when a gap is observed and cleared when expected advances,
+        #: so one loss triggers one NACK rather than a storm
+        self.nack_outstanding = False
+
+    def accept(self, pkt: Packet) -> Tuple[str, Optional[List[Packet]]]:
+        """Classify an arriving sequenced packet.
+
+        Returns ``(verdict, completed)`` where verdict is one of
+        ``deliver`` (completed holds the packet(s) of the finished transfer
+        unit, in arrival order), ``partial`` (accepted, chunk incomplete),
+        ``duplicate`` (old traffic; re-ack), or ``nack`` (gap: caller sends
+        a NACK for ``self.expected`` unless one is already outstanding).
+        """
+        if pkt.seq < self.expected:
+            return "duplicate", None
+        if pkt.seq > self.expected:
+            return "nack", None
+        # pkt.seq == expected
+        if pkt.chunk_packets == 1:
+            self.expected += 1
+            self.unacked_count += 1
+            self.nack_outstanding = False
+            return "deliver", [pkt]
+        if self._assembly is None:
+            self._assembly = _ChunkAssembly(pkt.chunk_packets)
+        status = self._assembly.add(pkt)
+        if status == "duplicate":
+            return "duplicate", None
+        if status == "complete":
+            done = self._assembly
+            self._assembly = None
+            self.expected += pkt.chunk_packets
+            self.unacked_count += pkt.chunk_packets
+            self.nack_outstanding = False
+            return "deliver", done.packets
+        return "partial", None
+
+    def ack_value(self) -> int:
+        """The cumulative ack to advertise; resets the explicit-ack debt."""
+        self.unacked_count = 0
+        return self.expected
+
+    @property
+    def explicit_ack_due(self) -> bool:
+        """§2.2: explicit ack once a quarter of the window is unacked."""
+        return self.unacked_count >= self.ack_threshold

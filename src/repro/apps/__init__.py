@@ -1,0 +1,22 @@
+"""Evaluation applications.
+
+Split-C benchmarks of §3 (Table 5 / Figure 4):
+
+* :mod:`repro.apps.matmul` — blocked matrix multiply (two blockings),
+* :mod:`repro.apps.sample_sort` — sample sort, small-message + bulk variants,
+* :mod:`repro.apps.radix_sort` — radix sort, small + large variants.
+
+NAS Parallel Benchmark kernels of §4.4 (Table 6) live in
+:mod:`repro.apps.nas`.
+
+Every application moves real bytes through the simulated network and
+validates its own answer; computation phases charge calibrated time to
+the simulated clock via the Split-C profiler so the Figure-4 cpu/net
+split is measured, not assumed.
+"""
+
+from repro.apps.matmul import run_matmul
+from repro.apps.radix_sort import run_radix_sort
+from repro.apps.sample_sort import run_sample_sort
+
+__all__ = ["run_matmul", "run_sample_sort", "run_radix_sort"]

@@ -1,0 +1,26 @@
+"""NAS Parallel Benchmark kernels (v2.0-style) for Table 6 (§4.4).
+
+Communication-faithful implementations of the five benchmarks the paper
+runs — BT, FT, LU, MG, SP — over our MPI (MPI-AM or MPI-F):
+
+* the **communication schedules are real** (face exchanges, wavefront
+  pipelines, all-to-all transposes move real bytes through the simulated
+  network, and every receiver validates the payloads it gets);
+* the **computation is charged** analytically per cell/point at the
+  host's calibrated flop rate, scaled from the NAS operation counts.
+
+Table 6 compares communication layers, so what matters is each kernel's
+communication pattern and its compute/communication ratio — both are
+preserved at the (configurable, default reduced) problem scales; see
+EXPERIMENTS.md for the scale note.
+"""
+
+from repro.apps.nas.bt import run_bt
+from repro.apps.nas.common import NASResult, NAS_KERNELS, run_nas_kernel
+from repro.apps.nas.ft import run_ft
+from repro.apps.nas.lu import run_lu
+from repro.apps.nas.mg import run_mg
+from repro.apps.nas.sp import run_sp
+
+__all__ = ["NASResult", "NAS_KERNELS", "run_nas_kernel",
+           "run_bt", "run_ft", "run_lu", "run_mg", "run_sp"]

@@ -1,0 +1,59 @@
+"""BT — block tridiagonal ADI solver (NAS 2.0).
+
+A 3D grid decomposed over a 2D process grid; each iteration runs an
+x-, y-, and z-sweep.  Communication per sweep is a face exchange of
+5-component block boundary data with the four grid neighbours — BT moves
+relatively few, relatively large messages, which is why its MPI-AM/MPI-F
+gap in Table 6 is small.
+
+Class A is 64^3 x 200 iterations; the default here is a reduced scale
+with the same per-iteration pattern (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.apps.nas.common import (
+    NAS_KERNELS,
+    NASResult,
+    exchange_faces,
+    grid_2d,
+    neighbors_2d,
+    run_nas_kernel,
+)
+
+#: ~flops per grid cell per full BT iteration (three block-5x5 sweeps)
+FLOPS_PER_CELL_ITER = 2800.0
+#: solution components per cell
+COMPONENTS = 5
+
+
+def bt_program(machine, mpis, rank, grid_n: int, iters: int):
+    mpi = mpis[rank]
+    nprocs = machine.nprocs
+    px, py = grid_2d(nprocs)
+    neigh = neighbors_2d(rank, px, py)
+    cells_local = grid_n ** 3 // nprocs
+    # one face: a grid_n x (grid_n/px) pencil of 5-vectors
+    face_doubles = max(1, grid_n * grid_n // max(px, py)) * COMPONENTS
+    ok = True
+    yield from mpi.barrier()
+    for it in range(iters):
+        for sweep in range(3):  # x, y, z solves
+            good = yield from exchange_faces(
+                mpi, rank, neigh, it * 3 + sweep, salt=11, count=face_doubles)
+            ok = ok and good
+            yield from machine.node(rank).charge_flops(
+                cells_local * FLOPS_PER_CELL_ITER / 3.0)
+    yield from mpi.barrier()
+    return ok
+
+
+def run_bt(variant: str = "mpi-am", nprocs: int = 16, grid_n: int = 24,
+           iters: int = 3) -> NASResult:
+    def make_prog(machine, mpis, rank):
+        return bt_program(machine, mpis, rank, grid_n, iters)
+
+    return run_nas_kernel("BT", variant, nprocs, make_prog)
+
+
+NAS_KERNELS["BT"] = run_bt

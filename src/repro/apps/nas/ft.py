@@ -1,0 +1,67 @@
+"""FT — 3D FFT (NAS 2.0).
+
+Each iteration: local 1D FFT passes, then a **global transpose** done with
+``MPI_Alltoall``.  The paper singles FT out: "the all-to-all communication
+function used by the FT benchmark caused unnecessary bottlenecks because
+all processors try to send to the same processor at the same time, rather
+than spreading out the communication pattern" (§4.4) — MPICH's generic
+rank-ordered alltoall hot-spots the destination links.  The staggered
+variant (``staggered=True``) implements the fix the paper suggests and is
+measured by the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.nas.common import NAS_KERNELS, NASResult, run_nas_kernel
+
+#: complex doubles are 16 bytes
+COMPLEX_BYTES = 16
+
+
+def ft_program(machine, mpis, rank, grid_n: int, iters: int,
+               staggered: bool):
+    mpi = mpis[rank]
+    nprocs = machine.nprocs
+    points_local = grid_n ** 3 // nprocs
+    # each pairwise alltoall chunk: N^3 / P^2 complex points
+    chunk_points = max(1, grid_n ** 3 // (nprocs * nprocs))
+    # ~5 N log2(N) flops per point per 3D FFT
+    fft_flops = points_local * 5.0 * 3.0 * np.log2(grid_n)
+    ok = True
+    yield from mpi.barrier()
+    for it in range(iters):
+        yield from machine.node(rank).charge_flops(fft_flops)
+        chunks = [
+            (np.full(chunk_points * 2, rank * 64 + dst, np.float64)
+             .tobytes())
+            for dst in range(nprocs)
+        ]
+        out = yield from mpi.alltoall(chunks, staggered=staggered)
+        for src in range(nprocs):
+            got = np.frombuffer(out[src], np.float64)
+            if not (len(got) == chunk_points * 2
+                    and (got == src * 64 + rank).all()):
+                ok = False
+        # local transpose/reorder pass
+        yield from machine.node(rank).charge_flops(points_local * 2.0)
+    yield from mpi.barrier()
+    return ok
+
+
+def run_ft(variant: str = "mpi-am", nprocs: int = 16, grid_n: int = 48,
+           iters: int = 3, staggered: bool = False) -> NASResult:
+    """Class A FT moves ~512 KB alltoall chunks; keep the default grid
+    large enough (48^3 / 16^2 ~ 6.8 KB chunks) that the transpose stays
+    bandwidth-dominated as in the paper rather than latency-dominated.
+    (Much larger grids push 15 concurrent senders past the receive-FIFO
+    capacity and the run spends its time in go-back-N recovery — the
+    §4.4 hot spot in its most extreme form.)"""
+    def make_prog(machine, mpis, rank):
+        return ft_program(machine, mpis, rank, grid_n, iters, staggered)
+
+    return run_nas_kernel("FT", variant, nprocs, make_prog)
+
+
+NAS_KERNELS["FT"] = run_ft

@@ -1,0 +1,59 @@
+"""MG — multigrid V-cycle (NAS 2.0).
+
+Each V-cycle descends and re-ascends a hierarchy of grids; at every level
+each rank exchanges ghost faces with its four neighbours.  Message sizes
+shrink geometrically down the hierarchy, so MG mixes bulk faces at the
+fine levels with near-minimum-size messages at the coarse ones — its
+Table 6 gap sits between BT's (bulk) and LU's (tiny).
+"""
+
+from __future__ import annotations
+
+from repro.apps.nas.common import (
+    NAS_KERNELS,
+    NASResult,
+    exchange_faces,
+    grid_2d,
+    neighbors_2d,
+    run_nas_kernel,
+)
+
+#: ~flops per fine-grid cell per V-cycle (residual, smooth, transfer ops)
+FLOPS_PER_CELL_CYCLE = 450.0
+
+
+def mg_program(machine, mpis, rank, grid_n: int, cycles: int):
+    mpi = mpis[rank]
+    nprocs = machine.nprocs
+    px, py = grid_2d(nprocs)
+    neigh = neighbors_2d(rank, px, py)
+    cells_local = grid_n ** 3 // nprocs
+    levels = max(1, grid_n.bit_length() - 2)  # down to a 4^3-ish grid
+    ok = True
+    step = 0
+    yield from mpi.barrier()
+    for cy in range(cycles):
+        for half in range(2):  # restriction descent, prolongation ascent
+            order = range(levels) if half == 0 else range(levels - 1, -1, -1)
+            for lv in order:
+                n_lv = max(4, grid_n >> lv)
+                face_doubles = max(1, n_lv * n_lv // max(px, py))
+                good = yield from exchange_faces(
+                    mpi, rank, neigh, step, salt=23, count=face_doubles)
+                ok = ok and good
+                step += 1
+                yield from machine.node(rank).charge_flops(
+                    (cells_local >> (3 * lv)) * FLOPS_PER_CELL_CYCLE / 2.0)
+    yield from mpi.barrier()
+    return ok
+
+
+def run_mg(variant: str = "mpi-am", nprocs: int = 16, grid_n: int = 32,
+           cycles: int = 3) -> NASResult:
+    def make_prog(machine, mpis, rank):
+        return mg_program(machine, mpis, rank, grid_n, cycles)
+
+    return run_nas_kernel("MG", variant, nprocs, make_prog)
+
+
+NAS_KERNELS["MG"] = run_mg

@@ -1,0 +1,61 @@
+"""SP — scalar pentadiagonal ADI solver (NAS 2.0).
+
+The same ADI structure as BT but scalar pentadiagonal systems: less
+computation per cell and *more, smaller* messages per iteration (each
+sweep exchanges boundary data twice — forward and back substitution).
+That higher message rate is why SP shows the largest MPI-AM/MPI-F gap in
+Table 6 (40.37 vs 49.08 s): it leans hardest on the collective-free
+point-to-point layer and on nonblocking-send overhead.
+"""
+
+from __future__ import annotations
+
+from repro.apps.nas.common import (
+    NAS_KERNELS,
+    NASResult,
+    exchange_faces,
+    grid_2d,
+    neighbors_2d,
+    run_nas_kernel,
+)
+
+#: ~flops per grid cell per full SP iteration
+FLOPS_PER_CELL_ITER = 2100.0
+COMPONENTS = 5
+#: boundary exchanges per sweep (forward + backward substitution)
+EXCHANGES_PER_SWEEP = 2
+
+
+def sp_program(machine, mpis, rank, grid_n: int, iters: int):
+    mpi = mpis[rank]
+    nprocs = machine.nprocs
+    px, py = grid_2d(nprocs)
+    neigh = neighbors_2d(rank, px, py)
+    cells_local = grid_n ** 3 // nprocs
+    # SP's substitution messages are thinner than BT's block faces
+    face_doubles = max(1, grid_n * grid_n // max(px, py)) * 2
+    ok = True
+    yield from mpi.barrier()
+    step = 0
+    for it in range(iters):
+        for sweep in range(3):
+            for sub in range(EXCHANGES_PER_SWEEP):
+                good = yield from exchange_faces(
+                    mpi, rank, neigh, step, salt=13, count=face_doubles)
+                ok = ok and good
+                step += 1
+            yield from machine.node(rank).charge_flops(
+                cells_local * FLOPS_PER_CELL_ITER / 3.0)
+    yield from mpi.barrier()
+    return ok
+
+
+def run_sp(variant: str = "mpi-am", nprocs: int = 16, grid_n: int = 24,
+           iters: int = 3) -> NASResult:
+    def make_prog(machine, mpis, rank):
+        return sp_program(machine, mpis, rank, grid_n, iters)
+
+    return run_nas_kernel("SP", variant, nprocs, make_prog)
+
+
+NAS_KERNELS["SP"] = run_sp

@@ -1,0 +1,75 @@
+"""Utilities for running SPMD node programs on a simulated machine.
+
+A *node program* is a generator factory ``prog(node) -> generator``; the
+harness spawns one per node, runs the simulation until the programs that
+matter finish, and reports the elapsed simulated time.  Background service
+loops (e.g. a receiver that polls until told to stop) are supported via
+``serve_until``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.hardware.machine import Machine
+from repro.sim import Simulator
+from repro.sim.process import Process
+
+
+@dataclass
+class NodeProgramSet:
+    """Results of a multi-node run."""
+
+    machine: Machine
+    processes: List[Process]
+    elapsed_us: float
+
+    def result(self, rank: int):
+        return self.processes[rank].result
+
+
+def run_programs(
+    machine: Machine,
+    programs: Sequence[Callable],
+    wait_for: Optional[Sequence[int]] = None,
+    limit_us: float = 1e10,
+    max_events: Optional[int] = None,
+) -> NodeProgramSet:
+    """Spawn ``programs[i](machine.node(i))`` on each node and run.
+
+    :param wait_for: ranks whose completion ends the run (default: all).
+        Programs not waited for (e.g. infinite server loops) are abandoned
+        when the waited-for set finishes.
+    """
+    if len(programs) != machine.nprocs:
+        raise ValueError(
+            f"{len(programs)} programs for {machine.nprocs} nodes"
+        )
+    sim = machine.sim
+    t0 = sim.now
+    procs = [
+        sim.spawn(prog(machine.node(i)), name=f"rank{i}")
+        for i, prog in enumerate(programs)
+    ]
+    targets = procs if wait_for is None else [procs[i] for i in wait_for]
+    sim.run_until_processes_done(targets, limit=limit_us, max_events=max_events)
+    return NodeProgramSet(machine, procs, sim.now - t0)
+
+
+def serve_until(am, flag: list):
+    """A standard background receiver: poll until ``flag[0]`` is truthy.
+
+    Use as the program for passive ranks::
+
+        done = [0]
+        run_programs(m, [sender(done), lambda n: serve_until(n.am, done)],
+                     wait_for=[0])
+    """
+    while not flag[0]:
+        yield from am._wait_progress()
+
+
+def spmd(fn: Callable) -> List[Callable]:
+    """Helper: the same program factory for every rank."""
+    return fn

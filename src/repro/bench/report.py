@@ -1,0 +1,59 @@
+"""Paper-format output: tables and figure series as aligned text.
+
+Every benchmark prints a "paper vs measured" block through these helpers
+so EXPERIMENTS.md and the benchmark logs read the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def fmt_table(title: str, headers: Sequence[str],
+              rows: Sequence[Sequence], width: int = 12) -> str:
+    """A fixed-width text table."""
+    out = [title, "=" * len(title)]
+    out.append("  ".join(f"{h:>{width}}" for h in headers))
+    out.append("  ".join("-" * width for _ in headers))
+    for row in rows:
+        cells = []
+        for v in row:
+            if isinstance(v, float):
+                cells.append(f"{v:>{width}.2f}")
+            else:
+                cells.append(f"{str(v):>{width}}")
+        out.append("  ".join(cells))
+    return "\n".join(out)
+
+
+def fmt_series(title: str, series: Dict[str, Sequence[Tuple[int, float]]],
+               xlabel: str = "bytes", ylabel: str = "MB/s") -> str:
+    """A figure as columns: x then one column per named curve."""
+    names = list(series)
+    xs = sorted({x for s in series.values() for x, _ in s})
+    lookup = {name: dict(s) for name, s in series.items()}
+    headers = [xlabel] + names
+    rows = []
+    for x in xs:
+        row: List = [x]
+        for name in names:
+            v = lookup[name].get(x)
+            row.append(v if v is not None else "-")
+        rows.append(row)
+    return fmt_table(f"{title}  ({ylabel})", headers, rows)
+
+
+def paper_vs_measured(title: str,
+                      entries: Sequence[Tuple[str, object, float]],
+                      unit: str = "") -> str:
+    """Rows of (quantity, paper value, measured value, deviation)."""
+    rows = []
+    for label, paper, measured in entries:
+        if isinstance(paper, (int, float)) and paper:
+            dev = f"{(measured - paper) / paper * 100:+.1f}%"
+        else:
+            dev = "-"
+        rows.append((label, paper if paper is not None else "-",
+                     round(measured, 2), dev))
+    return fmt_table(title, ["quantity", "paper", "measured", "dev"], rows,
+                     width=16) + (f"\n(units: {unit})" if unit else "")

@@ -1,0 +1,200 @@
+"""``spam-bench`` — command-line driver for the reproduction experiments.
+
+Usage::
+
+    spam-bench list                     # what can be run
+    spam-bench roundtrip                # §2.3 latencies
+    spam-bench table2|table3|table4|table6
+    spam-bench fig3|fig7|fig8|fig9|fig10|fig11
+    spam-bench table5 [--keys 2048]
+    spam-bench nas [BT|FT|LU|MG|SP] [--variant mpi-am|mpi-f]
+
+Everything is also runnable through pytest (``pytest benchmarks/``); this
+driver is for quick interactive looks at single experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.report import fmt_series, fmt_table, paper_vs_measured
+
+
+def cmd_roundtrip(_args) -> None:
+    from repro.bench.pingpong import am_roundtrip, mpl_roundtrip, raw_roundtrip
+
+    print(paper_vs_measured(
+        "S2.3 round-trip latency (us)",
+        [("raw ping-pong", 47.0, raw_roundtrip(100)),
+         ("SP AM one word", 51.0, am_roundtrip(1, 100)),
+         ("IBM MPL", 88.0, mpl_roundtrip(100))]))
+
+
+def cmd_table2(_args) -> None:
+    from repro.bench.callcosts import (
+        PAPER_REPLY,
+        PAPER_REQUEST,
+        reply_call_cost,
+        request_call_cost,
+    )
+
+    rows = []
+    for n in (1, 2, 3, 4):
+        rows.append((f"am_request_{n}", PAPER_REQUEST[n],
+                     round(request_call_cost(n), 2)))
+        rows.append((f"am_reply_{n}", PAPER_REPLY[n],
+                     round(reply_call_cost(n), 2)))
+    print(fmt_table("Table 2: AM call costs (us)",
+                    ["call", "paper", "measured"], rows))
+
+
+def cmd_table3(_args) -> None:
+    from repro.bench.bandwidth import n_half, r_inf, sweep
+    from repro.bench.pingpong import am_roundtrip, mpl_roundtrip
+
+    sizes = [128, 256, 512, 1024, 4096, 16384, 262144, 1048576]
+    am = sweep("am_store_async", sizes)
+    mpl = sweep("mpl_send", sizes)
+    print(paper_vs_measured(
+        "Table 3: SP AM vs IBM MPL",
+        [("AM round trip (us)", 51.0, am_roundtrip(1, 100)),
+         ("MPL round trip (us)", 88.0, mpl_roundtrip(100)),
+         ("AM r_inf (MB/s)", 34.3, r_inf(am)),
+         ("MPL r_inf (MB/s)", 34.6, r_inf(mpl)),
+         ("AM n1/2 async (B)", 260, n_half(am, 34.3)),
+         ("MPL n1/2 async (B)", 2040, n_half(mpl, 34.6))]))
+
+
+def cmd_table4(_args) -> None:
+    from repro.bench.machines import TABLE4_PAPER, table4_rows
+
+    rows = []
+    for r in table4_rows():
+        p = TABLE4_PAPER[r.name]
+        rows.append((p["label"], p["rtt"], round(r.rtt_us, 1),
+                     p["bw"], round(r.bandwidth_mbs, 1)))
+    print(fmt_table("Table 4 (paper/measured)",
+                    ["machine", "rtt(p)", "rtt(m)", "bw(p)", "bw(m)"], rows))
+
+
+def cmd_fig3(_args) -> None:
+    from repro.bench.bandwidth import MODES, sweep
+
+    sizes = [64, 256, 1024, 8064, 65536, 1048576]
+    print(fmt_series("Figure 3: bulk-transfer bandwidth",
+                     {m: sweep(m, sizes) for m in MODES}))
+
+
+def cmd_fig7(_args) -> None:
+    from repro.bench.figures import PROTOCOL_CONFIGS, protocol_bandwidth
+
+    sizes = [512, 1024, 2048, 4096, 8192, 16384]
+    print(fmt_series(
+        "Figure 7: protocol bandwidth",
+        {p: [(n, protocol_bandwidth(p, n)) for n in sizes]
+         for p in PROTOCOL_CONFIGS}))
+
+
+def _fig_mpi(kind: str, what: str) -> None:
+    from repro.bench.figures import MPI_VARIANTS, mpi_bandwidth, mpi_ring_latency
+
+    if what == "latency":
+        sizes = [4, 64, 256, 1024, 4096, 16384]
+        fn = lambda v, n: mpi_ring_latency(v, n, kind)  # noqa: E731
+        unit = "us/hop"
+    else:
+        sizes = [1024, 4096, 8192, 16384, 65536, 262144]
+        fn = lambda v, n: mpi_bandwidth(v, n, kind)  # noqa: E731
+        unit = "MB/s"
+    print(fmt_series(f"MPI {what}, {kind}",
+                     {v: [(n, fn(v, n)) for n in sizes]
+                      for v in MPI_VARIANTS}, ylabel=unit))
+
+
+def cmd_table5(args) -> None:
+    from repro.apps.matmul import run_matmul
+    from repro.apps.radix_sort import run_radix_sort
+    from repro.apps.sample_sort import run_sample_sort
+    from repro.apps.workloads import STACKS
+
+    keys = args.keys
+    rows = []
+    for stack in ("sp-am", "sp-mpl"):
+        for tag, (n, b) in (("mm128", (4, 128)), ("mm16", (16, 16))):
+            r = run_matmul(stack, nprocs=8, n=n, b=b)
+            rows.append((tag, stack, round(r.elapsed_s, 3),
+                         round(r.cpu_s, 3), round(r.net_s, 3)))
+    for variant in ("small", "bulk"):
+        for stack in STACKS:
+            r = run_sample_sort(stack, nprocs=8, keys_per_proc=keys,
+                                variant=variant)
+            rows.append((f"smpsort-{variant}", stack,
+                         round(r.elapsed_s, 3), round(r.cpu_s, 3),
+                         round(r.net_s, 3)))
+    for variant in ("small", "large"):
+        for stack in ("sp-am", "sp-mpl"):
+            r = run_radix_sort(stack, nprocs=8, keys_per_proc=keys,
+                               variant=variant)
+            rows.append((f"rdxsort-{variant}", stack,
+                         round(r.elapsed_s, 3), round(r.cpu_s, 3),
+                         round(r.net_s, 3)))
+    print(fmt_table(f"Table 5 / Fig 4 ({keys} keys/proc; seconds)",
+                    ["bench", "stack", "total", "cpu", "net"], rows))
+
+
+def cmd_nas(args) -> None:
+    from repro.apps.nas import NAS_KERNELS
+
+    kernels = [args.kernel.upper()] if args.kernel else sorted(NAS_KERNELS)
+    rows = []
+    for name in kernels:
+        am = NAS_KERNELS[name]("mpi-am")
+        f = NAS_KERNELS[name]("mpi-f")
+        rows.append((name, round(f.elapsed_s, 4), round(am.elapsed_s, 4),
+                     round(am.elapsed_s / f.elapsed_s, 2),
+                     am.verified and f.verified))
+    print(fmt_table("Table 6: NAS kernels (16 thin nodes; seconds)",
+                    ["bench", "MPI-F", "MPI-AM", "ratio", "ok"], rows))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="spam-bench",
+        description="Reproduction experiments for 'Low-Latency "
+                    "Communication on the IBM RISC System/6000 SP'")
+    sub = parser.add_subparsers(dest="cmd")
+    for name in ("list", "roundtrip", "table2", "table3", "table4",
+                 "fig3", "fig7", "fig8", "fig9", "fig10", "fig11"):
+        sub.add_parser(name)
+    p5 = sub.add_parser("table5")
+    p5.add_argument("--keys", type=int, default=2048)
+    p6 = sub.add_parser("table6")
+    pn = sub.add_parser("nas")
+    pn.add_argument("kernel", nargs="?", default=None)
+    args = parser.parse_args(argv)
+
+    if args.cmd in (None, "list"):
+        parser.print_help()
+        return 0
+    dispatch = {
+        "roundtrip": cmd_roundtrip,
+        "table2": cmd_table2,
+        "table3": cmd_table3,
+        "table4": cmd_table4,
+        "table5": cmd_table5,
+        "table6": lambda a: cmd_nas(argparse.Namespace(kernel=None)),
+        "nas": cmd_nas,
+        "fig3": cmd_fig3,
+        "fig7": cmd_fig7,
+        "fig8": lambda a: _fig_mpi("sp-thin", "latency"),
+        "fig9": lambda a: _fig_mpi("sp-thin", "bandwidth"),
+        "fig10": lambda a: _fig_mpi("sp-wide", "latency"),
+        "fig11": lambda a: _fig_mpi("sp-wide", "bandwidth"),
+    }
+    dispatch[args.cmd](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

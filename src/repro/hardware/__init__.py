@@ -1,0 +1,54 @@
+"""Hardware models of the IBM SP communication stack (and peer machines).
+
+The SP path reproduced here, following Figure 1 of the paper::
+
+    CPU -- memory bus -- DRAM (send/recv queues, length array mirror)
+                |
+          MicroChannel (80 MB/s DMA, ~1 us per PIO access)
+                |
+    TB2 adapter: i860 + 8 MB DRAM + two DMA engines + MSMU + 4 KB FIFOs
+                |
+    switch link (40 MB/s, ~0.5 us hardware latency, 4 routes/pair)
+
+Each adapter stage is modelled LogP-style with separate *occupancy*
+(throughput cost: how soon the next packet may enter the stage) and
+*latency* (pipeline depth: when this packet exits), so the model
+simultaneously reproduces the paper's ~16.5 us small-packet one-way
+latency and its 34.3 MB/s asymptotic payload bandwidth.
+
+Peer machines (CM-5, Meiko CS-2, U-Net/ATM) use the simpler
+:mod:`repro.hardware.generic_nic` parameterized from Table 4.
+"""
+
+from repro.hardware.machine import Machine, build_generic_machine, build_sp_machine
+from repro.hardware.node import Memory, Node
+from repro.hardware.packet import PACKET_HEADER_BYTES, PACKET_PAYLOAD_BYTES, Packet
+from repro.hardware.params import (
+    MACHINES,
+    AdapterParams,
+    GenericNICParams,
+    HostParams,
+    MachineParams,
+    SwitchParams,
+    sp_thin_params,
+    sp_wide_params,
+)
+
+__all__ = [
+    "Machine",
+    "build_sp_machine",
+    "build_generic_machine",
+    "Node",
+    "Memory",
+    "Packet",
+    "PACKET_HEADER_BYTES",
+    "PACKET_PAYLOAD_BYTES",
+    "MachineParams",
+    "HostParams",
+    "AdapterParams",
+    "SwitchParams",
+    "GenericNICParams",
+    "MACHINES",
+    "sp_thin_params",
+    "sp_wide_params",
+]

@@ -1,0 +1,183 @@
+"""The TB2 communication adapter (§1.2, §2.1).
+
+Transmit path: the host stages packets into the send FIFO (host DRAM),
+flushes their cache lines, and arms them by storing lengths into the packet
+length array across the MicroChannel.  The i860's scan loop notices armed
+slots and services packets one at a time: DMA the entry across the
+MicroChannel into adapter RAM, push it through the MSMU onto the switch
+link.  Each service is modelled with an *occupancy* (pacing the next
+packet — set by the larger of DMA time, i860 per-packet work, and wire
+serialization) and a *latency* (this packet's transit).
+
+Receive path: the MSMU accepts a packet from the switch; if the receive
+FIFO is full the packet is **dropped** (input-buffer overflow — the loss
+case §2.2's flow control exists for).  Otherwise the adapter DMAs it into
+the host-resident receive queue, where it becomes visible to polling
+software after the RX latency.
+
+Software above charges its own CPU costs (cache flushes, PIO stores,
+polling); this module charges only adapter-side time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.hardware.fifo import RecvFIFO, SendFIFO
+from repro.hardware.packet import Packet
+from repro.hardware.params import AdapterParams, SwitchParams
+from repro.sim import Simulator
+from repro.sim.primitives import Event
+from repro.sim.stats import StatRegistry
+
+
+class TB2Adapter:
+    """One node's network adapter, attached to a :class:`Switch`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        params: AdapterParams,
+        switch_params: SwitchParams,
+        active_nodes: int,
+        lazy_pop_batch: int = 16,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.switch_params = switch_params
+        self.send_fifo = SendFIFO(params.send_fifo_entries)
+        self.recv_fifo = RecvFIFO(
+            capacity=params.recv_fifo_entries_per_node * max(1, active_nodes),
+            lazy_pop_batch=lazy_pop_batch,
+        )
+        self.switch = None  # set by Machine
+        self.stats = StatRegistry(f"tb2[{node_id}].")
+        # TX service bookkeeping
+        self._tx_free = 0.0
+        self._tx_scheduled = False
+        # RX service bookkeeping
+        self._rx_free = 0.0
+        #: callbacks run (at packet-visible time) on every delivery; the AM
+        #: layer uses this to wake blocked processes instead of spin-polling
+        self._arrival_listeners: List[Callable[[Packet], None]] = []
+        self._arrival_event: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    # Host-facing API (costs are charged by the calling software layer)
+    # ------------------------------------------------------------------
+
+    def host_can_stage(self, n: int = 1) -> bool:
+        """Whether the send FIFO has ``n`` free entries."""
+        return self.send_fifo.free_entries >= n
+
+    def host_stage(self, packet: Packet) -> None:
+        """Write one packet into the next send-FIFO entry."""
+        self.send_fifo.stage(packet)
+        self.stats.count("tx_staged")
+
+    def host_arm(self, count: Optional[int] = None) -> int:
+        """Store length(s) into the packet length array — one MicroChannel
+        PIO for the whole batch (the bulk-transfer optimization of §2.1)."""
+        armed = self.send_fifo.arm(count)
+        if armed and not self._tx_scheduled:
+            self._tx_scheduled = True
+            self.sim.schedule(self.params.length_scan, self._tx_service)
+        return armed
+
+    def host_recv_peek(self) -> Optional[Packet]:
+        """Head of the receive queue without consuming it."""
+        return self.recv_fifo.peek()
+
+    def host_recv_consume(self) -> Packet:
+        """Read the head packet out of the receive queue (host copy cost is
+        charged by the poller)."""
+        return self.recv_fifo.consume()
+
+    def host_recv_should_pop(self) -> bool:
+        """Whether enough entries are consumed to justify a pop PIO."""
+        return self.recv_fifo.should_pop()
+
+    def host_recv_pop_batch(self) -> int:
+        """Return consumed entries to the adapter (caller charges ~1 us PIO)."""
+        freed = self.recv_fifo.pop_batch()
+        self.stats.count("rx_pop_pio")
+        return freed
+
+    def host_recv_available(self) -> int:
+        """Packets visible to the host right now."""
+        return len(self.recv_fifo.visible)
+
+    def add_arrival_listener(self, fn: Callable[[Packet], None]) -> None:
+        """Run ``fn(packet)`` at every delivery (tracing/wakeups)."""
+        self._arrival_listeners.append(fn)
+
+    def arrival_event(self) -> Event:
+        """A one-shot event that fires at the next packet delivery.
+
+        Blocking software (e.g. a store waiting for its ack) waits on this
+        instead of burning simulated poll cycles; the timing is identical
+        because nothing else runs on the node's CPU meanwhile.
+        """
+        if self._arrival_event is None or self._arrival_event.triggered:
+            self._arrival_event = self.sim.event(f"tb2[{self.node_id}].arrival")
+        return self._arrival_event
+
+    # ------------------------------------------------------------------
+    # TX service loop (adapter side)
+    # ------------------------------------------------------------------
+
+    def _tx_service(self) -> None:
+        pkt = self.send_fifo.take_armed()
+        if pkt is None:
+            self._tx_scheduled = False
+            return
+        p = self.params
+        start = max(self.sim.now, self._tx_free)
+        dma = pkt.wire_bytes / p.mc_dma_rate
+        wire = pkt.wire_bytes / self.switch_params.link_rate
+        occupancy = max(dma, p.i860_tx_occupancy, wire + p.msmu_gap)
+        latency = dma + p.i860_tx_latency + wire
+        self._tx_free = start + occupancy
+        self.stats.count("tx_packets")
+        self.stats.count("tx_bytes", pkt.wire_bytes)
+        self.switch.inject(pkt, start + latency)
+        if self.send_fifo.armed_count > 0:
+            delay = max(0.0, self._tx_free - self.sim.now)
+            self.sim.schedule(delay, self._tx_service)
+        else:
+            self._tx_scheduled = False
+
+    # ------------------------------------------------------------------
+    # RX path (called by the switch)
+    # ------------------------------------------------------------------
+
+    def on_wire_arrival(self, packet: Packet) -> None:
+        """Switch-facing: accept or drop (FIFO overflow) a packet."""
+        if not self.recv_fifo.reserve():
+            # Input-buffer overflow: the packet is lost; §2.2's sequence
+            # numbers + NACK machinery must recover it.
+            self.stats.count("rx_dropped_overflow")
+            return
+        p = self.params
+        dma = packet.wire_bytes / p.mc_dma_rate
+        start = max(self.sim.now, self._rx_free)
+        self._rx_free = start + max(dma, p.i860_rx_occupancy)
+        visible_at = start + dma + p.i860_rx_latency
+        self.stats.count("rx_packets")
+        self.sim.at(visible_at, self._deliver, packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.recv_fifo.deliver(packet)
+        for fn in self._arrival_listeners:
+            fn(packet)
+        if self._arrival_event is not None and not self._arrival_event.triggered:
+            self._arrival_event.succeed(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TB2Adapter(node={self.node_id}, "
+            f"tx_staged={self.send_fifo.occupied}, "
+            f"rx_visible={len(self.recv_fifo.visible)})"
+        )

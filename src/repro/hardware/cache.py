@@ -1,0 +1,34 @@
+"""Cache-flush cost model (§2.1).
+
+The RS/6000 memory bus is not coherent with MicroChannel DMA, so before the
+adapter may DMA a send-FIFO entry out of host DRAM the host must flush the
+relevant data-cache lines explicitly.  Thin nodes (model 390) have 64-byte
+lines; wide nodes (model 590) 256-byte lines.  The same flush is needed
+before a receive-FIFO entry is reused after wrap-around, which the software
+folds into its lazy pop.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.params import HostParams
+
+
+def lines_covering(nbytes: int, line_size: int) -> int:
+    """Number of cache lines a flush of ``nbytes`` must touch (worst-case
+    aligned: we assume buffers are line-aligned, which the SP AM layer
+    arranges)."""
+    if nbytes <= 0:
+        return 0
+    return -(-nbytes // line_size)  # ceil
+
+
+def flush_cost(nbytes: int, host: HostParams) -> float:
+    """Microseconds to flush ``nbytes`` of line-aligned data to DRAM."""
+    return lines_covering(nbytes, host.cache_line) * host.flush_line
+
+
+def copy_cost(nbytes: int, host: HostParams) -> float:
+    """Microseconds for a host memory-to-memory copy of ``nbytes``."""
+    if nbytes <= 0:
+        return 0.0
+    return host.copy_fixed + nbytes / host.copy_rate

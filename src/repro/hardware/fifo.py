@@ -1,0 +1,133 @@
+"""Send and receive FIFO bookkeeping for the TB2 adapter (§2.1).
+
+The send FIFO lives in host DRAM: the host writes packets into successive
+entries, then *arms* them by storing their transfer lengths into the packet
+length array in adapter memory (one MicroChannel PIO store, which may cover
+several packets at once during bulk transfers).  The adapter transmits
+armed packets in order.
+
+The receive FIFO is filled by the adapter via DMA and drained by the host;
+the host *pops* entries lazily — it tells the adapter that slots are free
+only every ``lazy_pop_batch`` consumed packets, because each pop is a ~1 us
+MicroChannel access.  Capacity accounting therefore distinguishes
+*occupied* (delivered or in flight, not yet returned to the adapter) from
+*consumed* (read by the host but not yet popped).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.hardware.packet import Packet
+
+
+class SendFIFO:
+    """Host-side send queue + adapter-side length array."""
+
+    def __init__(self, entries: int):
+        if entries <= 0:
+            raise ValueError("send FIFO needs at least one entry")
+        self.entries = entries
+        self._staged: Deque[Packet] = deque()  # written, not yet armed
+        self._armed: Deque[Packet] = deque()   # length slot set, awaiting TX
+
+    @property
+    def occupied(self) -> int:
+        return len(self._staged) + len(self._armed)
+
+    @property
+    def free_entries(self) -> int:
+        return self.entries - self.occupied
+
+    @property
+    def armed_count(self) -> int:
+        return len(self._armed)
+
+    @property
+    def staged_count(self) -> int:
+        return len(self._staged)
+
+    def stage(self, packet: Packet) -> None:
+        """Write a packet into the next entry (not yet visible to the TB2)."""
+        if self.free_entries <= 0:
+            raise OverflowError("send FIFO full; caller must back off first")
+        self._staged.append(packet)
+
+    def arm(self, count: Optional[int] = None) -> int:
+        """Set length-array slots for the next ``count`` staged packets
+        (all of them if None).  Returns how many were armed.  The caller
+        charges one MicroChannel PIO for the whole batch."""
+        n = len(self._staged) if count is None else min(count, len(self._staged))
+        for _ in range(n):
+            self._armed.append(self._staged.popleft())
+        return n
+
+    def take_armed(self) -> Optional[Packet]:
+        """Adapter side: consume the next armed packet (frees its entry)."""
+        if not self._armed:
+            return None
+        return self._armed.popleft()
+
+
+class RecvFIFO:
+    """Adapter-filled receive queue with lazy host-side popping."""
+
+    def __init__(self, capacity: int, lazy_pop_batch: int = 16):
+        if capacity <= 0:
+            raise ValueError("receive FIFO needs capacity > 0")
+        if lazy_pop_batch <= 0:
+            raise ValueError("lazy_pop_batch must be positive")
+        self.capacity = capacity
+        self.lazy_pop_batch = lazy_pop_batch
+        #: slots charged against capacity (in-flight through RX DMA or
+        #: delivered-but-not-popped)
+        self.occupied = 0
+        #: packets visible to the host, in delivery order
+        self.visible: Deque[Packet] = deque()
+        #: consumed by the host but not yet popped back to the adapter
+        self.pending_pop = 0
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - self.occupied
+
+    def reserve(self) -> bool:
+        """Adapter side, at wire arrival: claim a slot or report overflow."""
+        if self.occupied >= self.capacity:
+            return False
+        self.occupied += 1
+        return True
+
+    def deliver(self, packet: Packet) -> None:
+        """Adapter side, at RX-DMA completion: make the packet host-visible."""
+        self.visible.append(packet)
+
+    def peek(self) -> Optional[Packet]:
+        return self.visible[0] if self.visible else None
+
+    def consume(self) -> Packet:
+        """Host side: read the head packet out of the queue.
+
+        Returns the packet; the slot stays occupied until :meth:`should_pop`
+        triggers a batched pop.
+        """
+        if not self.visible:
+            raise IndexError("receive FIFO empty")
+        self.pending_pop += 1
+        return self.visible.popleft()
+
+    def should_pop(self) -> bool:
+        """True when enough entries have been consumed to justify the ~1 us
+        MicroChannel access that returns them to the adapter."""
+        return self.pending_pop >= self.lazy_pop_batch
+
+    def pop_batch(self) -> int:
+        """Host side: return all consumed entries to the adapter.  The
+        caller charges one MicroChannel PIO.  Returns slots freed."""
+        freed = self.pending_pop
+        self.pending_pop = 0
+        self.occupied -= freed
+        if self.occupied < 0:
+            raise AssertionError("receive FIFO accounting went negative")
+        return freed

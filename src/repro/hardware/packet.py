@@ -1,0 +1,116 @@
+"""The 256-byte network packet: 32-byte header + up to 224 bytes of payload.
+
+The header layout follows §2.2 of the paper: destination/route, packet
+kind, sequence number, piggybacked acknowledgement, AM handler id, up to
+four word arguments, and — for bulk-transfer packets — the destination
+address offset used to order packets within a chunk.
+
+We keep the header as typed fields (not serialized bytes); the *wire size*
+charged by the hardware model is ``header + len(payload)`` which is what
+the TB2 length array expresses ("the number of bytes to be transferred for
+each packet").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Optional, Tuple
+
+from repro.hardware.params import PACKET_HEADER_BYTES, PACKET_PAYLOAD_BYTES
+
+
+class PacketKind(IntEnum):
+    """What the flow-control layer should do with a packet."""
+
+    REQUEST = 1       # am_request_M
+    REPLY = 2         # am_reply_M
+    STORE_DATA = 3    # one packet of an am_store / am_store_async chunk
+    GET_REQUEST = 4   # am_get's initial request
+    GET_DATA = 5      # one packet of the data coming back from a get
+    ACK = 6           # explicit acknowledgement
+    NACK = 7          # negative acknowledgement (go-back-N trigger)
+    RAW = 8           # flow-control-free path (the 47 us baseline)
+    KEEPALIVE = 9     # keep-alive probe (§2.2)
+    MPL_DATA = 10     # IBM MPL data traffic (independent protocol stack)
+    MPL_ACK = 11      # MPL credit return
+
+
+#: kinds that consume a slot in the sender's sliding window / need acking
+SEQUENCED_KINDS = frozenset(
+    {
+        PacketKind.REQUEST,
+        PacketKind.REPLY,
+        PacketKind.STORE_DATA,
+        PacketKind.GET_REQUEST,
+        PacketKind.GET_DATA,
+    }
+)
+
+
+@dataclass
+class Packet:
+    """One packet as it exists in a FIFO entry and on the wire."""
+
+    src: int
+    dst: int
+    kind: PacketKind
+    #: sliding-window sequence number (packets of one chunk share the
+    #: chunk's base sequence number, §2.2)
+    seq: int = 0
+    #: piggybacked cumulative acks: "every request-channel (resp.
+    #: reply-channel) sequence number below this value has been received
+    #: from you".  -1 = no information (control/raw packets).
+    ack_req: int = -1
+    ack_rep: int = -1
+    #: which traffic class this packet's own seq belongs to (requests and
+    #: replies use separate windows, §2.2): 0 = request, 1 = reply
+    channel: int = 0
+    #: AM handler id (index into the receiver's handler table)
+    handler: int = 0
+    #: up to four 32-bit word arguments (§1.1)
+    args: Tuple[int, ...] = ()
+    #: payload bytes for bulk transfers (<= 224)
+    payload: bytes = b""
+    #: destination base address of the bulk transfer
+    addr: int = 0
+    #: destination byte offset within the bulk transfer (orders packets
+    #: within a chunk, §2.2)
+    offset: int = 0
+    #: total bulk-transfer length (receiver-side completion detection)
+    total_len: int = 0
+    #: how many window sequence numbers this packet's transfer unit
+    #: consumes (36 for a full chunk, 1 for a plain request/reply)
+    chunk_packets: int = 1
+    #: opaque token identifying the bulk operation at its initiator
+    op_token: int = 0
+    #: on-wire header size; AM uses the full 32 bytes, MPL's leaner data
+    #: framing (30 bytes) is what gives it the marginally higher 34.6 MB/s
+    #: asymptote of Table 3
+    header_bytes: int = PACKET_HEADER_BYTES
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > PACKET_PAYLOAD_BYTES:
+            raise ValueError(
+                f"payload {len(self.payload)} exceeds {PACKET_PAYLOAD_BYTES} bytes"
+            )
+        if len(self.args) > 4:
+            raise ValueError("AM packets carry at most four word arguments")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes actually transferred for this packet (header + payload +
+        4 bytes per word argument)."""
+        return self.header_bytes + len(self.payload) + 4 * len(self.args)
+
+    @property
+    def is_sequenced(self) -> bool:
+        return self.kind in SEQUENCED_KINDS
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        extra = f" +{len(self.payload)}B@{self.offset}" if self.payload else ""
+        return (
+            f"Packet({self.kind.name} {self.src}->{self.dst} "
+            f"ch{self.channel} seq={self.seq} "
+            f"ack=({self.ack_req},{self.ack_rep}){extra})"
+        )

@@ -1,0 +1,70 @@
+"""The SP's high-performance switch (§1.2).
+
+A cut-through multistage network: ~0.5 us hardware latency per traversal,
+40 MB/s links, four routes between every pair of nodes.  The sending
+adapter already paces packets at input-link rate (its TX occupancy), so the
+switch model adds (a) the fixed hardware latency and (b) serialization on
+the *destination* link when several senders converge on one receiver —
+which is exactly the situation the paper calls out for MPICH's generic
+``MPI_Alltoall`` in the FT benchmark (§4.4).
+
+A fault-injection hook supports the test suite's packet-loss campaigns
+(the flow-control layer must recover via NACK/go-back-N).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.hardware.packet import Packet
+from repro.hardware.params import SwitchParams
+from repro.sim import Simulator
+from repro.sim.stats import StatRegistry
+
+
+class Switch:
+    """Routes packets between adapters registered with :meth:`attach`."""
+
+    def __init__(self, sim: Simulator, params: SwitchParams):
+        self.sim = sim
+        self.params = params
+        self._adapters: Dict[int, "TB2Adapter"] = {}  # noqa: F821
+        #: when each destination's output link next frees up
+        self._dest_link_free: Dict[int, float] = {}
+        self.stats = StatRegistry("switch.")
+        #: optional hook: return True to drop this packet in the fabric
+        self.fault_injector: Optional[Callable[[Packet], bool]] = None
+
+    def attach(self, node_id: int, adapter: "TB2Adapter") -> None:  # noqa: F821
+        if node_id in self._adapters:
+            raise ValueError(f"node {node_id} already attached")
+        self._adapters[node_id] = adapter
+        self._dest_link_free[node_id] = 0.0
+
+    @property
+    def node_count(self) -> int:
+        return len(self._adapters)
+
+    def inject(self, packet: Packet, wire_exit_time: float) -> None:
+        """Accept a packet whose input-link serialization completes at
+        ``wire_exit_time`` (sender adapter computed it); deliver it to the
+        destination adapter after switch latency plus any destination-link
+        queueing."""
+        if packet.dst not in self._adapters:
+            raise KeyError(f"packet addressed to unattached node {packet.dst}")
+        self.stats.count("packets_routed")
+        if self.fault_injector is not None and self.fault_injector(packet):
+            self.stats.count("packets_dropped_fault")
+            return
+        p = self.params
+        wire_time = packet.wire_bytes / p.link_rate
+        start = max(wire_exit_time, self._dest_link_free[packet.dst])
+        queueing = start - wire_exit_time
+        if queueing > 0:
+            self.stats.count("dest_link_queued")
+        self._dest_link_free[packet.dst] = start + wire_time
+        deliver_at = start + p.latency
+        self.sim.at(deliver_at, self._adapters[packet.dst].on_wire_arrival, packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Switch({self.node_count} nodes)"

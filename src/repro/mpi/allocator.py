@@ -1,0 +1,161 @@
+"""Sender-side allocation of the receiver's per-peer buffer (§4.1–4.2).
+
+"To send a message, the sender allocates space within its buffer at the
+receiver (this allocation is done entirely at the sender side and involves
+no communication)."  Frees arrive later in (possibly combined) replies.
+
+Two strategies, matching the paper:
+
+* **first-fit** over a free list — the basic implementation, whose walk
+  "turned out to be a major cost in sending small messages";
+* **binned**: eight 1 KB bins for small messages, falling back to
+  first-fit for intermediate sizes — the §4.2 optimization.
+
+Invariants (property-tested): allocations never overlap, never exceed the
+region, and freeing returns the exact capacity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class FirstFitAllocator:
+    """Classic address-ordered first-fit with coalescing free list."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        #: sorted list of (offset, length) free extents
+        self._free: List[Tuple[int, int]] = [(0, capacity)]
+
+    def alloc(self, nbytes: int) -> Optional[int]:
+        """Allocate ``nbytes``; returns the offset or None when full."""
+        if nbytes <= 0:
+            raise ValueError("allocation must be positive")
+        for i, (off, length) in enumerate(self._free):
+            if length >= nbytes:
+                if length == nbytes:
+                    del self._free[i]
+                else:
+                    self._free[i] = (off + nbytes, length - nbytes)
+                return off
+        return None
+
+    def free(self, offset: int, nbytes: int) -> None:
+        """Return an allocation to the region (coalescing)."""
+        if nbytes <= 0:
+            raise ValueError("free of non-positive size")
+        if offset < 0 or offset + nbytes > self.capacity:
+            raise ValueError("free outside the region")
+        # insert sorted, coalescing with neighbours
+        import bisect
+
+        i = bisect.bisect_left(self._free, (offset, 0))
+        # guard against overlapping frees (double-free corruption)
+        if i > 0:
+            poff, plen = self._free[i - 1]
+            if poff + plen > offset:
+                raise ValueError("overlapping free (double free?)")
+        if i < len(self._free) and offset + nbytes > self._free[i][0]:
+            raise ValueError("overlapping free (double free?)")
+        self._free.insert(i, (offset, nbytes))
+        self._coalesce(i)
+
+    def _coalesce(self, i: int) -> None:
+        # merge with next
+        if i + 1 < len(self._free):
+            off, length = self._free[i]
+            noff, nlen = self._free[i + 1]
+            if off + length == noff:
+                self._free[i] = (off, length + nlen)
+                del self._free[i + 1]
+        # merge with previous
+        if i > 0:
+            poff, plen = self._free[i - 1]
+            off, length = self._free[i]
+            if poff + plen == off:
+                self._free[i - 1] = (poff, plen + length)
+                del self._free[i]
+
+    @property
+    def free_bytes(self) -> int:
+        """Total bytes currently free."""
+        return sum(length for _, length in self._free)
+
+    @property
+    def walk_length(self) -> int:
+        """Free-list extent count (cost model: the first-fit walk)."""
+        return len(self._free)
+
+
+class BinnedAllocator:
+    """§4.2: 1 KB bins for small messages over a unified first-fit arena.
+
+    Bins are ordinary 1 KB first-fit allocations kept in a small cache
+    (up to ``bin_count``): a small message pops a cached bin without
+    walking the free list — the paper's fast path — while large messages
+    first-fit over the *whole* region, so an 8 KB eager message is never
+    squeezed out by idle bin reservations.  Under pressure (a large
+    allocation failing) the cache is flushed back to the free list.
+    """
+
+    def __init__(self, capacity: int, bin_size: int = 1024, bin_count: int = 8):
+        if bin_size * bin_count >= capacity:
+            raise ValueError("bins would consume the whole region")
+        self.bin_size = bin_size
+        self.bin_count = bin_count
+        self.capacity = capacity
+        self._arena = FirstFitAllocator(capacity)
+        self._cached_bins: List[int] = []
+        #: offsets of bin allocations currently handed out
+        self._live_bins: set = set()
+
+    def alloc(self, nbytes: int) -> Optional[int]:
+        if nbytes <= 0:
+            raise ValueError("allocation must be positive")
+        if nbytes <= self.bin_size:
+            if self._cached_bins:
+                off = self._cached_bins.pop()
+            else:
+                off = self._arena.alloc(self.bin_size)
+                if off is None:
+                    return self._arena.alloc(nbytes)  # fragmented tail
+            if off is not None:
+                self._live_bins.add(off)
+            return off
+        off = self._arena.alloc(nbytes)
+        if off is None and self._cached_bins:
+            self._flush_cache()
+            off = self._arena.alloc(nbytes)
+        return off
+
+    def _flush_cache(self) -> None:
+        while self._cached_bins:
+            self._arena.free(self._cached_bins.pop(), self.bin_size)
+
+    def free(self, offset: int, nbytes: int) -> None:
+        if offset in self._cached_bins:
+            raise ValueError("double free of bin")
+        if offset in self._live_bins:
+            self._live_bins.discard(offset)
+            if len(self._cached_bins) < self.bin_count:
+                self._cached_bins.append(offset)
+            else:
+                self._arena.free(offset, self.bin_size)
+        else:
+            self._arena.free(offset, nbytes)
+
+    @property
+    def free_bytes(self) -> int:
+        return (self._arena.free_bytes
+                + len(self._cached_bins) * self.bin_size)
+
+    @property
+    def walk_length(self) -> int:
+        return self._arena.walk_length
+
+    def used_bin(self, offset: int) -> bool:
+        """Whether this offset was served from the bin fast path."""
+        return offset in self._live_bins or offset in self._cached_bins

@@ -1,0 +1,65 @@
+"""Configuration of the MPI-AM protocol stack (§4.1–4.2).
+
+Two named presets reproduce the paper's curves:
+
+* ``UNOPTIMIZED`` — the basic implementation: first-fit receive-buffer
+  allocation, one free reply per message, buffered→rendez-vous switch at
+  16 KB, no hybrid prefix;
+* ``OPTIMIZED`` — binned allocation for small messages, combined free
+  replies, switch at 8 KB, hybrid protocol with a 4 KB prefix.
+
+Every knob is independent so the ablation benchmarks can toggle one at a
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MPIConfig:
+    #: receiver-side buffer dedicated to each peer ("currently 16 Kbytes")
+    buffer_per_peer: int = 16384
+    #: messages <= this go through the buffered protocol
+    eager_max: int = 8192
+    #: binned allocator for small messages ("currently 8 1K bins")
+    binned_allocator: bool = True
+    bin_size: int = 1024
+    bin_count: int = 8
+    #: pack several buffer frees into one reply
+    combined_frees: bool = True
+    #: frees packed per combined reply (one word each, 4 max per reply)
+    frees_per_reply: int = 4
+    #: hybrid buffered/rendez-vous: eagerly store a prefix while waiting
+    #: for the receive address
+    hybrid: bool = True
+    prefix_bytes: int = 4096
+    # -- software cost knobs (microseconds) --------------------------------
+    #: envelope build + protocol selection on MPI_Send/Isend entry
+    send_fixed: float = 1.6
+    #: posting + matching attempt on MPI_Recv/Irecv entry
+    recv_fixed: float = 1.5
+    #: first-fit allocation / free-list walk
+    first_fit_cost: float = 3.6
+    #: binned allocation (pop a free bin)
+    binned_cost: float = 0.4
+    #: bookkeeping to queue an unexpected message
+    unexpected_cost: float = 1.1
+    #: request/handle management per completed operation
+    completion_cost: float = 0.6
+
+
+UNOPTIMIZED = MPIConfig(
+    eager_max=16384,
+    binned_allocator=False,
+    combined_frees=False,
+    hybrid=False,
+)
+
+OPTIMIZED = MPIConfig()
+
+
+def variant(base: MPIConfig, **overrides) -> MPIConfig:
+    """Ablation helper: copy a preset with selected knobs changed."""
+    return replace(base, **overrides)

@@ -1,0 +1,195 @@
+"""Point-to-point MPI operations over the ADI (§4.1).
+
+The subset MPICH's upper layers and the NAS kernels need: blocking and
+non-blocking send/receive, wait/test families, sendrecv, and probe.
+Payloads are bytes; ``(addr, nbytes)`` tuples give placement into node
+memory without staging copies (used by the NAS kernels).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.mpi.comm import Communicator
+from repro.mpi.request import Request
+from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status, matches
+
+Buffer = Union[bytes, bytearray, Tuple[int, int]]
+
+
+class MPIPoint2Point:
+    """Mixin providing the point-to-point API (state lives on MPI)."""
+
+    # -- buffers -------------------------------------------------------------
+
+    def _as_addr(self, buf: Buffer) -> Tuple[int, int]:
+        """Resolve a payload to (addr, nbytes) in this node's memory."""
+        if isinstance(buf, tuple):
+            return buf
+        data = bytes(buf)
+        addr = self.node.memory.alloc(max(len(data), 1))
+        if data:
+            self.node.memory.write(addr, data)
+        return addr, len(data)
+
+    # -- non-blocking ----------------------------------------------------------
+
+    def isend(self, buf: Buffer, dst: int, tag: int = 0,
+              comm: Optional[Communicator] = None):
+        """MPI_Isend: start a send, return its Request."""
+        comm = comm or self.comm_world
+        dst_world = comm.world_rank_of(dst)
+        addr, nbytes = self._as_addr(buf)
+        req = Request("send", comm, dst, tag, nbytes)
+        if dst_world == self.rank:
+            data = self.node.memory.read(addr, nbytes) if nbytes else b""
+            self._loopback.append((comm.context, tag, data))
+            req.complete()
+            return req
+        yield from self.adi.start_send(dst_world, addr, nbytes, tag,
+                                       comm.context, req)
+        return req
+
+    def irecv(self, nbytes: int, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+              comm: Optional[Communicator] = None,
+              addr: Optional[int] = None):
+        """MPI_Irecv: post a receive, return its Request."""
+        comm = comm or self.comm_world
+        src_world = (comm.world_rank_of(src) if src != ANY_SOURCE
+                     else ANY_SOURCE)
+        req = Request("recv", comm, src_world, tag, nbytes)
+        req.recv_addr = addr
+        # self-delivery first
+        data = self._match_loopback(comm.context, tag)
+        if data is not None:
+            if addr is not None and data:
+                self.node.memory.write(addr, data)
+            req.complete(data, source=comm.rank, tag=tag)
+            return req
+        yield from self.adi.post_recv(req)
+        return req
+
+    def wait(self, req: Request) -> Status:
+        """MPI_Wait: block until the request completes."""
+        while not req.done:
+            yield from self.adi._wait_progress()
+        yield from self.adi.progress()
+        return req.status
+
+    def waitall(self, reqs: Sequence[Request]):
+        """MPI_Waitall: complete every request; returns their statuses."""
+        for r in reqs:
+            yield from self.wait(r)
+        return [r.status for r in reqs]
+
+    def test(self, req: Request) -> bool:
+        """MPI_Test: advance progress; report whether ``req`` is done."""
+        yield from self.adi.progress()
+        return req.done
+
+    def testall(self, reqs: Sequence[Request]) -> bool:
+        """MPI_Testall: progress once; True if every request is done."""
+        yield from self.adi.progress()
+        return all(r.done for r in reqs)
+
+    def waitany(self, reqs: Sequence[Request]):
+        """MPI_Waitany: block until one request completes; returns its
+        index and status."""
+        if not reqs:
+            raise ValueError("waitany of an empty request list")
+        while True:
+            for i, r in enumerate(reqs):
+                if r.done:
+                    return i, r.status
+            yield from self.adi._wait_progress()
+
+    def waitsome(self, reqs: Sequence[Request]):
+        """MPI_Waitsome: block until >= 1 completes; returns the indices."""
+        while True:
+            done = [i for i, r in enumerate(reqs) if r.done]
+            if done:
+                return done
+            yield from self.adi._wait_progress()
+
+    # -- blocking ---------------------------------------------------------------
+
+    def send(self, buf: Buffer, dst: int, tag: int = 0,
+             comm: Optional[Communicator] = None):
+        """MPI_Send: returns when the buffer is reusable (buffered) or the
+        transfer is complete (rendez-vous)."""
+        req = yield from self.isend(buf, dst, tag, comm)
+        yield from self.wait(req)
+
+    def recv(self, nbytes: int, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+             comm: Optional[Communicator] = None,
+             addr: Optional[int] = None):
+        """MPI_Recv: returns (data, status)."""
+        req = yield from self.irecv(nbytes, src, tag, comm, addr)
+        status = yield from self.wait(req)
+        return req.data if req.data is not None else b"", status
+
+    def sendrecv(self, buf: Buffer, dst: int, sendtag: int,
+                 recv_nbytes: int, src: int, recvtag: int,
+                 comm: Optional[Communicator] = None):
+        """MPI_Sendrecv (deadlock-free by construction)."""
+        rreq = yield from self.irecv(recv_nbytes, src, recvtag, comm)
+        sreq = yield from self.isend(buf, dst, sendtag, comm)
+        yield from self.wait(sreq)
+        status = yield from self.wait(rreq)
+        return rreq.data if rreq.data is not None else b"", status
+
+    def iprobe(self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+               comm: Optional[Communicator] = None):
+        """Non-blocking probe of the unexpected queue."""
+        comm = comm or self.comm_world
+        yield from self.adi.progress()
+        for entry in self.adi.unexpected:
+            if entry.context == comm.context and matches(
+                    src if src == ANY_SOURCE else comm.world_rank_of(src),
+                    tag, entry.src, entry.tag):
+                return Status(source=entry.src, tag=entry.tag,
+                              count=entry.total_len)
+        return None
+
+    def probe(self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+              comm: Optional[Communicator] = None) -> Status:
+        """MPI_Probe: block until a matching message is pending."""
+        while True:
+            st = yield from self.iprobe(src, tag, comm)
+            if st is not None:
+                return st
+            yield from self.adi._wait_progress()
+
+    # -- derived datatypes (non-contiguous sends, §4's upper-layer duty) -------
+
+    def send_typed(self, raw: bytes, dtype, dst: int, tag: int = 0,
+                   comm: Optional[Communicator] = None):
+        """Send one instance of a derived datatype: the upper layer packs
+        (a real gather, charged at the host copy rate) and the device
+        moves contiguous bytes — exactly MPICH's structure (§4)."""
+        from repro.mpi.datatypes import pack_cost_us
+
+        yield from self.node.compute(pack_cost_us(dtype, self.node.host))
+        packed = dtype.pack(raw)
+        yield from self.send(packed, dst, tag, comm)
+
+    def recv_typed(self, dtype, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+                   comm: Optional[Communicator] = None):
+        """Receive one instance of a derived datatype; returns the memory
+        image (``dtype.extent`` bytes) with the data scattered in place."""
+        from repro.mpi.datatypes import pack_cost_us
+
+        data, status = yield from self.recv(dtype.packed_size, src, tag, comm)
+        yield from self.node.compute(pack_cost_us(dtype, self.node.host))
+        image = bytearray(dtype.extent)
+        dtype.unpack(data, image)
+        return bytes(image), status
+
+    # -- loopback ----------------------------------------------------------------
+
+    def _match_loopback(self, context: int, tag: int) -> Optional[bytes]:
+        for i, (ctx, mtag, data) in enumerate(self._loopback):
+            if ctx == context and (tag == ANY_TAG or tag == mtag):
+                del self._loopback[i]
+                return data
+        return None

@@ -1,0 +1,48 @@
+"""Wire-format helpers for the MPI-AM protocols (§4.1–4.2).
+
+The buffered protocol carries its envelope in the ``am_store`` handler
+arguments — (tag, context, token, kind) — so the payload stored into the
+receiver's region is the bare message bytes and the sender stores straight
+from the user buffer (no staging copy).  ``kind`` distinguishes a
+self-contained eager message from the 4 KB prefix the hybrid protocol
+sends ahead of its rendez-vous.
+
+Buffer frees travel packed one per 64-bit word: ``offset << 24 | length``
+(regions are 16 KB, so both fit comfortably).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+KIND_EAGER = 0
+KIND_PREFIX = 1
+
+_FREE_SHIFT = 24
+_FREE_MASK = (1 << _FREE_SHIFT) - 1
+
+
+def pack_free(offset: int, length: int) -> int:
+    if not (0 <= offset < (1 << 39)) or not (0 < length <= _FREE_MASK):
+        raise ValueError(f"free ({offset}, {length}) not encodable")
+    return (offset << _FREE_SHIFT) | length
+
+
+def unpack_free(word: int) -> Tuple[int, int]:
+    return word >> _FREE_SHIFT, word & _FREE_MASK
+
+
+#: prefix lengths fit in 13 bits (<= 4 KB prefixes)
+_RTS_SHIFT = 13
+_RTS_MASK = (1 << _RTS_SHIFT) - 1
+
+
+def pack_rts_len(total_len: int, prefix_len: int) -> int:
+    """The rendez-vous request carries total and prefix length in one word."""
+    if prefix_len > _RTS_MASK:
+        raise ValueError(f"prefix {prefix_len} exceeds 13-bit field")
+    return (total_len << _RTS_SHIFT) | prefix_len
+
+
+def unpack_rts_len(word: int) -> Tuple[int, int]:
+    return word >> _RTS_SHIFT, word & _RTS_MASK

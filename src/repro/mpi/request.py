@@ -1,0 +1,47 @@
+"""MPI request handles for non-blocking operations."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mpi.status import Status
+
+
+class Request:
+    """Handle for MPI_Isend / MPI_Irecv, completed by Wait/Test."""
+
+    _next_id = 1
+
+    def __init__(self, kind: str, comm, peer: int, tag: int, nbytes: int = 0):
+        self.kind = kind  # "send" | "recv"
+        self.comm = comm
+        self.peer = peer
+        self.tag = tag
+        self.nbytes = nbytes
+        self.done = False
+        self.cancelled = False
+        self.status = Status()
+        #: received payload (recv requests)
+        self.data: Optional[bytes] = None
+        #: destination address in node memory (recv requests with placement)
+        self.recv_addr: Optional[int] = None
+        self.id = Request._next_id
+        Request._next_id += 1
+
+    def complete(self, data: Optional[bytes] = None,
+                 source: int = -1, tag: int = -1) -> None:
+        if self.done:
+            raise AssertionError(f"request {self.id} completed twice")
+        self.done = True
+        if data is not None:
+            self.data = data
+            self.status.count = len(data)
+        if source >= 0:
+            self.status.source = source
+        if tag >= 0:
+            self.status.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else "pending"
+        return (f"Request(#{self.id} {self.kind} peer={self.peer} "
+                f"tag={self.tag} {state})")

@@ -1,0 +1,24 @@
+"""Exception hierarchy for the simulation engine."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulator-raised errors."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while processes are still blocked.
+
+    A drained queue with live-but-blocked processes means no future event can
+    ever wake them: the simulated system has deadlocked (e.g. an ``MPI_Recv``
+    whose matching send never happens).
+    """
+
+
+class SimTimeoutError(SimulationError):
+    """Raised when ``Simulator.run`` exceeds its simulated-time budget."""
+
+
+class ProcessKilled(SimulationError):
+    """Injected into a coroutine when its process is killed externally."""

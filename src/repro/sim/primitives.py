@@ -1,0 +1,121 @@
+"""Yield instructions and signalling primitives for simulation processes.
+
+A process is a generator.  It communicates with the engine by yielding
+instances of the classes below:
+
+* ``Delay(t)`` — suspend for ``t`` microseconds of simulated time.  ``t``
+  may be zero (yield the CPU at the current instant; other events scheduled
+  at the same time run first).
+* ``WaitEvent(ev)`` — suspend until ``ev.succeed(...)`` is called.  The
+  value passed to ``succeed`` becomes the value of the ``yield`` expression.
+
+``Event`` is a one-shot signal.  Once succeeded it stays succeeded;
+processes that wait on an already-succeeded event resume immediately (at
+the current simulated instant) with the stored value.  This matches the
+semantics needed for completion flags ("this store has been acked") where
+the waiter may arrive before or after the signal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+
+class Delay:
+    """Advance the yielding process's clock by ``duration`` microseconds."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if duration < 0:
+            raise ValueError(f"negative delay: {duration}")
+        self.duration = duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Delay({self.duration})"
+
+
+class Event:
+    """A one-shot signal with an optional payload.
+
+    Hardware models call :meth:`succeed` from plain event callbacks;
+    software processes block on the event with ``yield WaitEvent(ev)``.
+    Multiple processes may wait on the same event; all are resumed at the
+    instant the event fires, in wait order.
+    """
+
+    __slots__ = ("sim", "_value", "_ok", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):  # noqa: F821
+        self.sim = sim
+        self.name = name
+        self._value: Any = None
+        self._ok = False
+        self._waiters: List[Callable[[Any], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._ok:
+            raise RuntimeError(f"event {self.name!r} has not fired")
+        return self._value
+
+    def succeed(self, value: Any = None) -> None:
+        """Fire the event, waking every waiter at the current sim time."""
+        if self._ok:
+            raise RuntimeError(f"event {self.name!r} fired twice")
+        self._ok = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            # Wake at the current instant; scheduling through the queue
+            # keeps resumption ordering deterministic.
+            self.sim.schedule(0.0, resume, value)
+
+    def add_waiter(self, resume: Callable[[Any], None]) -> None:
+        """Register a resume callback (engine-internal)."""
+        if self._ok:
+            self.sim.schedule(0.0, resume, self._value)
+        else:
+            self._waiters.append(resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "ok" if self._ok else f"{len(self._waiters)} waiting"
+        return f"Event({self.name!r}, {state})"
+
+
+class WaitEvent:
+    """Yield instruction: block the process until ``event`` fires."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event):
+        self.event = event
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WaitEvent({self.event!r})"
+
+
+class Timeout:
+    """Yield instruction: block until ``event`` fires OR ``duration`` passes.
+
+    The yield expression evaluates to the event's value if it fired first,
+    or to the ``TIMED_OUT`` sentinel otherwise.
+    """
+
+    __slots__ = ("event", "duration")
+
+    def __init__(self, event: Event, duration: float):
+        self.event = event
+        self.duration = duration
+
+
+TIMED_OUT = object()
+
+
+def make_event(sim: "Simulator", name: str = "") -> Event:  # noqa: F821
+    """Convenience constructor mirroring ``Simulator.event``."""
+    return Event(sim, name)

@@ -1,0 +1,41 @@
+"""Split-C runtime over Active Messages (§3).
+
+Split-C extends C with a global address space over distributed memory:
+global pointers, split-phase assignments (``:=`` get/put), signaling
+stores (``:-``), and bulk transfers.  The compiler front end is out of
+scope; this package is the *runtime library* the generated code calls —
+which is what the paper's benchmarks exercise — exposed as Python
+generators for our simulated nodes.
+
+The runtime is written against the Active-Messages API, so the same
+benchmark code runs over SP AM, over the generic AM of the Table-4 peer
+machines, and — via :class:`repro.mpl.am_shim.MPLAM` — over IBM MPL,
+exactly the comparison of Table 5 / Figure 4.
+"""
+
+from repro.splitc.bulk import (
+    bulk_read,
+    bulk_write,
+    exchange,
+    read_double,
+    write_double,
+)
+from repro.splitc.collective import all_gather_words, all_reduce_to_all, scan
+from repro.splitc.gptr import GlobalPtr
+from repro.splitc.profile import PhaseProfile
+from repro.splitc.runtime import SplitC, attach_splitc
+
+__all__ = [
+    "GlobalPtr",
+    "SplitC",
+    "attach_splitc",
+    "PhaseProfile",
+    "bulk_read",
+    "bulk_write",
+    "read_double",
+    "write_double",
+    "exchange",
+    "all_reduce_to_all",
+    "all_gather_words",
+    "scan",
+]

@@ -1,0 +1,53 @@
+"""Blocking bulk operations and exchanges (Split-C library surface).
+
+The split-phase primitives in :mod:`repro.splitc.runtime` are the
+compiler's building blocks; the Split-C library also offers blocking
+convenience forms (``bulk_read``/``bulk_write``) and the pairwise
+``exchange`` the tech report benchmarks.  All are generators operating on
+a :class:`~repro.splitc.runtime.SplitC` runtime.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.splitc.gptr import GlobalPtr
+
+WORD = 8
+
+
+def bulk_read(rt, local_addr: int, gp: GlobalPtr, nbytes: int):
+    """Blocking bulk read: returns when the data is locally available."""
+    yield from rt.get_bulk(local_addr, gp, nbytes)
+    yield from rt.sync()
+
+
+def bulk_write(rt, gp: GlobalPtr, local_addr: int, nbytes: int):
+    """Blocking bulk write: returns when remotely complete (acked)."""
+    yield from rt.put_bulk(gp, local_addr, nbytes)
+    yield from rt.sync()
+
+
+def read_double(rt, gp: GlobalPtr):
+    """Blocking remote read of one IEEE double."""
+    word = yield from rt.read_word(gp)
+    return struct.unpack("<d", struct.pack("<q", word))[0]
+
+
+def write_double(rt, gp: GlobalPtr, value: float):
+    """Blocking remote write of one IEEE double."""
+    word = struct.unpack("<q", struct.pack("<d", value))[0]
+    yield from rt.write_word(gp, word)
+
+
+def exchange(rt, peer: int, send_addr: int, recv_gp_at_peer: GlobalPtr,
+             nbytes: int, expected_bytes: int):
+    """Pairwise exchange: store ``nbytes`` to the peer while the peer
+    stores to us; returns when both directions have completed.
+
+    ``recv_gp_at_peer`` addresses OUR outgoing data's destination in the
+    peer's memory; ``expected_bytes`` is the running store_sync target for
+    what the peer sends us (caller accumulates across exchanges).
+    """
+    yield from rt.store_bulk(recv_gp_at_peer, send_addr, nbytes)
+    yield from rt.store_sync(expected_bytes)

@@ -1,0 +1,85 @@
+"""Split-C library collectives beyond the runtime's built-ins.
+
+``all_reduce_to_all`` with min/max/sum, an exclusive prefix ``scan``, and
+``all_gather_words`` — the small set the sort benchmarks and user code
+lean on.  All are generators over a :class:`~repro.splitc.runtime.SplitC`
+runtime and are built from the runtime's requests/collectives, so they
+run over any AM implementation (SP AM, generic, or MPL-shimmed).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+OPS: Dict[str, Callable[[int, int], int]] = {
+    "sum": lambda a, b: a + b,
+    "min": min,
+    "max": max,
+}
+
+
+def all_reduce_to_all(rt, value: int, op: str = "sum"):
+    """Reduce an integer across all processors; everyone gets the result."""
+    fn = OPS[op]
+    values = yield from all_gather_words(rt, value)
+    out = values[0]
+    for v in values[1:]:
+        out = fn(out, v)
+    return out
+
+
+def scan(rt, value: int, op: str = "sum"):
+    """Exclusive prefix: rank r receives op(values of ranks 0..r-1);
+    rank 0 receives the identity (0 for sum, the own value for min/max
+    conventions are avoided by returning None at rank 0 for non-sum)."""
+    values = yield from all_gather_words(rt, value)
+    if op == "sum":
+        return sum(values[: rt.rank])
+    if rt.rank == 0:
+        return None
+    fn = OPS[op]
+    out = values[0]
+    for v in values[1: rt.rank]:
+        out = fn(out, v)
+    return out
+
+
+def all_gather_words(rt, value: int) -> List[int]:
+    """Every rank contributes one word; everyone gets the full vector.
+
+    Gather via one-way word stores into rank 0's vector, then rank 0
+    broadcasts each slot — linear, like the runtime's allreduce, which is
+    faithful to the simple Split-C library collectives of the era.
+    """
+    from repro.splitc.gptr import GlobalPtr
+    from repro.splitc.runtime import WORD
+
+    key = "allgather_region"
+    shared = rt._collective_scratch
+    if key not in shared:
+        # rank 0 allocates the staging vector lazily, announces via bcast
+        if rt.rank == 0:
+            addr = rt.node.memory.alloc(rt.nprocs * WORD)
+        else:
+            addr = None
+        addr = yield from rt.broadcast_int(addr, root=0)
+        shared[key] = addr
+    base = shared[key]
+    yield from rt.store_word(GlobalPtr(0, base + rt.rank * WORD), value)
+    yield from rt.all_store_sync()
+    out: List[Optional[int]] = [None] * rt.nprocs
+    if rt.rank == 0:
+        import struct
+
+        raw = rt.node.memory.read(base, rt.nprocs * WORD)
+        vec = list(struct.unpack(f"<{rt.nprocs}q", raw))
+    else:
+        vec = None
+    # broadcast the vector one word at a time (requests carry words)
+    result = []
+    for i in range(rt.nprocs):
+        v = yield from rt.broadcast_int(vec[i] if rt.rank == 0 else None,
+                                        root=0)
+        result.append(v)
+    yield from rt.barrier()
+    return result

@@ -1,0 +1,86 @@
+"""Phase profiling: the cpu-vs-net split of Figure 4.
+
+"All the benchmarks have been instrumented to account for the time spent
+in local computation phases and in communication phases separately" (§3).
+Benchmarks bracket their computation with :meth:`PhaseProfile.compute`
+(or ``compute_span``); everything else in the measured region counts as
+communication time — which includes message overhead, exactly as in the
+paper (that is why SP MPL's *net* bars in Figure 4 balloon for the
+small-message sorts even though the machine is identical).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class PhaseProfile:
+    """Per-node accounting of compute vs communication phases."""
+
+    def __init__(self, node):
+        self.node = node
+        self.cpu_us = 0.0
+        self._start: Optional[float] = None
+        self._span_t0: Optional[float] = None
+
+    # -- measured region -----------------------------------------------------
+
+    def start(self) -> None:
+        self._start = self.node.sim.now
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("profile not started")
+        elapsed = self.node.sim.now - self._start
+        self._start = None
+        self.total_us = elapsed
+        return elapsed
+
+    # -- compute phases ---------------------------------------------------
+
+    def compute(self, us: float):
+        """Charge a computation phase of ``us`` microseconds."""
+        self.cpu_us += us
+        yield from self.node.compute(us)
+
+    def flops(self, n: float):
+        yield from self.compute(n * self.node.host.flop_us)
+
+    def intops(self, n: float):
+        yield from self.compute(n * self.node.host.intop_us)
+
+    def flops_polled(self, n: float, am, quantum_us: float = 1000.0):
+        """A long compute phase with explicit am_poll checks sprinkled in
+        ("explicit checks can be added using am_poll", §1.1) so this node
+        keeps serving remote gets while it crunches.  Poll time counts as
+        communication, compute time as cpu."""
+        remaining = n * self.node.host.flop_us
+        while remaining > 0:
+            step = min(quantum_us, remaining)
+            yield from self.compute(step)
+            remaining -= step
+            if remaining > 0:
+                yield from am.poll()
+
+    def begin_compute(self) -> None:
+        """Bracket a compute phase that advances time by other means
+        (e.g. real numpy work charged via node.compute elsewhere)."""
+        self._span_t0 = self.node.sim.now
+
+    def end_compute(self) -> None:
+        if self._span_t0 is None:
+            raise RuntimeError("begin_compute not called")
+        self.cpu_us += self.node.sim.now - self._span_t0
+        self._span_t0 = None
+
+    # -- results --------------------------------------------------------------
+
+    @property
+    def net_us(self) -> float:
+        if not hasattr(self, "total_us"):
+            raise RuntimeError("profile not stopped")
+        return max(0.0, self.total_us - self.cpu_us)
+
+    def split(self):
+        """(cpu_us, net_us, total_us)."""
+        return self.cpu_us, self.net_us, self.total_us

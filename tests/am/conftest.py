@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for AM tests."""
+
+import pytest
+
+from repro.am import attach_generic_am, attach_spam
+from repro.hardware import build_generic_machine, build_sp_machine
+from repro.hardware.params import machine_params
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sp2():
+    """A 2-node SP with AM attached: (machine, am0, am1)."""
+    sim = Simulator()
+    m = build_sp_machine(sim, 2)
+    am0, am1 = attach_spam(m)
+    return m, am0, am1
+
+
+@pytest.fixture
+def sp4():
+    sim = Simulator()
+    m = build_sp_machine(sim, 4)
+    ams = attach_spam(m)
+    return m, ams
+
+
+def run_pair(machine, prog0, prog1, wait_both=False, limit=1e9):
+    """Spawn two node programs; run until prog0 (or both) finish."""
+    sim = machine.sim
+    p0 = sim.spawn(prog0, name="n0")
+    p1 = sim.spawn(prog1, name="n1")
+    targets = [p0, p1] if wait_both else [p0]
+    sim.run_until_processes_done(targets, limit=limit)
+    return p0, p1
+
+
+def serve(am, flag):
+    """Background receiver loop until flag[0] set."""
+    while not flag[0]:
+        yield from am._wait_progress()

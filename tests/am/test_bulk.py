@@ -1,0 +1,264 @@
+"""Bulk transfers: stores, async stores, gets — data integrity + protocol."""
+
+import pytest
+
+from repro.am.constants import CHUNK_BYTES, CHUNK_PACKETS
+from tests.am.conftest import run_pair, serve
+
+
+def _payload(n, seed=0):
+    return bytes((i * 37 + seed) % 256 for i in range(n))
+
+
+class TestStore:
+    @pytest.mark.parametrize("nbytes", [1, 17, 224, 225, 1000, 8064, 8065, 30000])
+    def test_store_moves_exact_bytes(self, sp2, nbytes):
+        m, am0, am1 = sp2
+        data = _payload(nbytes)
+        src = m.node(0).memory.alloc(nbytes)
+        dst = m.node(1).memory.alloc(nbytes)
+        m.node(0).memory.write(src, data)
+        flag = [0]
+
+        def sender():
+            yield from am0.store(1, src, dst, nbytes)
+            flag[0] = 1
+
+        run_pair(m, sender(), serve(am1, flag), limit=1e8)
+        assert m.node(1).memory.read(dst, nbytes) == data
+
+    def test_zero_byte_store_completes_immediately(self, sp2):
+        m, am0, am1 = sp2
+        src = m.node(0).memory.alloc(16)
+        dst = m.node(1).memory.alloc(16)
+
+        def sender():
+            op = yield from am0.store(1, src, dst, 0)
+            return op
+
+        p = m.sim.spawn(sender())
+        m.sim.run()
+        assert p.result.complete
+
+    def test_store_completion_handler_runs_on_receiver(self, sp2):
+        m, am0, am1 = sp2
+        completions = []
+
+        def on_complete(token, addr, nbytes, arg):
+            completions.append((token.src, addr, nbytes, arg))
+
+        n = 5000
+        src = m.node(0).memory.alloc(n)
+        dst = m.node(1).memory.alloc(n)
+        flag = [0]
+
+        def sender():
+            yield from am0.store(1, src, dst, n, handler=on_complete, arg=99)
+            flag[0] = 1
+
+        run_pair(m, sender(), serve(am1, flag), limit=1e8)
+        assert completions == [(0, dst, n, 99)]
+
+    def test_chunk_accounting(self, sp2):
+        m, am0, am1 = sp2
+        n = 3 * CHUNK_BYTES + 100  # 4 chunks
+        src = m.node(0).memory.alloc(n)
+        dst = m.node(1).memory.alloc(n)
+        flag = [0]
+
+        def sender():
+            yield from am0.store(1, src, dst, n)
+            flag[0] = 1
+
+        run_pair(m, sender(), serve(am1, flag), limit=1e8)
+        assert am0.stats.get("chunks_sent") == 4
+        assert am1.stats.get("chunk_acks_sent") == 4
+        assert am0.stats.get("bulk_packets_sent") == 3 * CHUNK_PACKETS + 1
+
+    def test_negative_store_rejected(self, sp2):
+        m, am0, am1 = sp2
+
+        def sender():
+            yield from am0.store(1, 0, 0, -1)
+
+        m.sim.spawn(sender())
+        with pytest.raises(ValueError):
+            m.sim.run()
+
+
+class TestAsyncStore:
+    def test_async_returns_before_completion(self, sp2):
+        m, am0, am1 = sp2
+        n = 4 * CHUNK_BYTES
+        src = m.node(0).memory.alloc(n)
+        dst = m.node(1).memory.alloc(n)
+        snapshot = {}
+        flag = [0]
+
+        def sender():
+            op = yield from am0.store_async(1, src, dst, n)
+            snapshot["done_at_return"] = op.done.triggered
+            snapshot["chunks_at_return"] = op.next_chunk
+            yield from am0.wait_op(op)
+            flag[0] = 1
+            return op
+
+        p, _ = run_pair(m, sender(), serve(am1, flag), limit=1e8)
+        assert snapshot["done_at_return"] is False
+        # only the initial pipeline depth went out synchronously (Fig. 2)
+        assert snapshot["chunks_at_return"] == 2
+        assert p.result.complete
+
+    def test_completion_fn_called_once(self, sp2):
+        m, am0, am1 = sp2
+        n = 2 * CHUNK_BYTES
+        src = m.node(0).memory.alloc(n)
+        dst = m.node(1).memory.alloc(n)
+        calls = []
+        flag = [0]
+
+        def sender():
+            op = yield from am0.store_async(
+                1, src, dst, n, completion_fn=lambda op: calls.append(op))
+            yield from am0.wait_op(op)
+            flag[0] = 1
+
+        run_pair(m, sender(), serve(am1, flag), limit=1e8)
+        assert len(calls) == 1
+        assert calls[0].complete
+
+    def test_many_small_asyncs_all_land(self, sp2):
+        m, am0, am1 = sp2
+        k, n = 60, 300
+        srcs, dsts, datas = [], [], []
+        for i in range(k):
+            d = _payload(n, seed=i)
+            s = m.node(0).memory.alloc(n)
+            t = m.node(1).memory.alloc(n)
+            m.node(0).memory.write(s, d)
+            srcs.append(s), dsts.append(t), datas.append(d)
+        flag = [0]
+
+        def sender():
+            ops = []
+            for i in range(k):
+                op = yield from am0.store_async(1, srcs[i], dsts[i], n)
+                ops.append(op)
+            for op in ops:
+                yield from am0.wait_op(op)
+            flag[0] = 1
+
+        run_pair(m, sender(), serve(am1, flag), limit=1e8)
+        for i in range(k):
+            assert m.node(1).memory.read(dsts[i], n) == datas[i]
+
+
+class TestGet:
+    @pytest.mark.parametrize("nbytes", [1, 224, 5000, 8064, 20000])
+    def test_get_fetches_exact_bytes(self, sp2, nbytes):
+        m, am0, am1 = sp2
+        data = _payload(nbytes, seed=3)
+        remote = m.node(1).memory.alloc(nbytes)
+        local = m.node(0).memory.alloc(nbytes)
+        m.node(1).memory.write(remote, data)
+        flag = [0]
+
+        def getter():
+            yield from am0.get(1, remote, local, nbytes)
+            flag[0] = 1
+
+        run_pair(m, getter(), serve(am1, flag), limit=1e8)
+        assert m.node(0).memory.read(local, nbytes) == data
+
+    def test_get_handler_runs_locally(self, sp2):
+        m, am0, am1 = sp2
+        done = []
+
+        def on_got(token, addr, nbytes, arg):
+            done.append((addr, nbytes, arg))
+
+        n = 1000
+        remote = m.node(1).memory.alloc(n)
+        local = m.node(0).memory.alloc(n)
+        flag = [0]
+
+        def getter():
+            yield from am0.get(1, remote, local, n, handler=on_got, arg=7)
+            flag[0] = 1
+
+        run_pair(m, getter(), serve(am1, flag), limit=1e8)
+        assert done == [(local, n, 7)]
+
+    def test_get_of_zero_bytes_rejected(self, sp2):
+        m, am0, am1 = sp2
+
+        def getter():
+            yield from am0.get(1, 0, 0, 0)
+
+        m.sim.spawn(getter())
+        with pytest.raises(ValueError):
+            m.sim.run()
+
+    def test_interleaved_stores_and_gets(self, sp2):
+        m, am0, am1 = sp2
+        n = 6000
+        d_out = _payload(n, 1)
+        d_back = _payload(n, 2)
+        src = m.node(0).memory.alloc(n)
+        dst = m.node(1).memory.alloc(n)
+        remote = m.node(1).memory.alloc(n)
+        local = m.node(0).memory.alloc(n)
+        m.node(0).memory.write(src, d_out)
+        m.node(1).memory.write(remote, d_back)
+        flag = [0]
+
+        def sender():
+            op = yield from am0.store_async(1, src, dst, n)
+            yield from am0.get(1, remote, local, n)
+            yield from am0.wait_op(op)
+            flag[0] = 1
+
+        run_pair(m, sender(), serve(am1, flag), limit=1e8)
+        assert m.node(1).memory.read(dst, n) == d_out
+        assert m.node(0).memory.read(local, n) == d_back
+
+
+class TestMultiNode:
+    def test_all_pairs_stores(self, sp4):
+        m, ams = sp4
+        n = 2000
+        nproc = 4
+        bufs = {}
+        for i in range(nproc):
+            for j in range(nproc):
+                if i != j:
+                    bufs[(i, j)] = (
+                        m.node(i).memory.alloc(n),
+                        m.node(j).memory.alloc(n),
+                        _payload(n, seed=i * 16 + j),
+                    )
+        for (i, j), (s, d, data) in bufs.items():
+            m.node(i).memory.write(s, data)
+        done = [0]
+
+        def prog(rank):
+            def run():
+                ops = []
+                for j in range(nproc):
+                    if j == rank:
+                        continue
+                    s, d, _ = bufs[(rank, j)]
+                    op = yield from ams[rank].store_async(j, s, d, n)
+                    ops.append(op)
+                for op in ops:
+                    yield from ams[rank].wait_op(op)
+                done[0] += 1
+                while done[0] < nproc:
+                    yield from ams[rank]._wait_progress()
+            return run()
+
+        sim = m.sim
+        procs = [sim.spawn(prog(r), name=f"r{r}") for r in range(nproc)]
+        sim.run_until_processes_done(procs, limit=1e8)
+        for (i, j), (s, d, data) in bufs.items():
+            assert m.node(j).memory.read(d, n) == data, (i, j)

@@ -1,0 +1,255 @@
+"""Request/reply semantics, handler rules, and window behaviour end-to-end."""
+
+import pytest
+
+from repro.am.handler import HandlerRestrictionError
+from repro.am.constants import REQUEST_WINDOW
+from repro.hardware.packet import PacketKind
+from tests.am.conftest import run_pair, serve
+
+
+class TestRequestReply:
+    def test_request_invokes_handler_with_args(self, sp2):
+        m, am0, am1 = sp2
+        seen = []
+
+        def handler(token, a, b, c):
+            seen.append((token.src, a, b, c))
+
+        def sender():
+            yield from am0.request_3(1, handler, 10, 20, 30)
+
+        flag = [0]
+
+        def receiver():
+            while not seen:
+                yield from am1._wait_progress()
+
+        run_pair(m, sender(), receiver(), wait_both=True)
+        assert seen == [(0, 10, 20, 30)]
+
+    def test_reply_reaches_requester(self, sp2):
+        m, am0, am1 = sp2
+        replies = []
+
+        def on_reply(token, x):
+            replies.append(x)
+
+        def on_request(token, x):
+            yield from token.reply_1(on_reply, x * 2)
+
+        flag = [0]
+
+        def sender():
+            yield from am0.request_1(1, on_request, 21)
+            while not replies:
+                yield from am0._wait_progress()
+            flag[0] = 1
+
+        run_pair(m, sender(), serve(am1, flag))
+        assert replies == [42]
+
+    def test_all_arities(self, sp2):
+        m, am0, am1 = sp2
+        seen = []
+
+        def h1(t, a):
+            seen.append((a,))
+
+        def h2(t, a, b):
+            seen.append((a, b))
+
+        def h3(t, a, b, c):
+            seen.append((a, b, c))
+
+        def h4(t, a, b, c, d):
+            seen.append((a, b, c, d))
+
+        def sender():
+            yield from am0.request_1(1, h1, 1)
+            yield from am0.request_2(1, h2, 1, 2)
+            yield from am0.request_3(1, h3, 1, 2, 3)
+            yield from am0.request_4(1, h4, 1, 2, 3, 4)
+
+        def receiver():
+            while len(seen) < 4:
+                yield from am1._wait_progress()
+
+        run_pair(m, sender(), receiver(), wait_both=True)
+        assert seen == [(1,), (1, 2), (1, 2, 3), (1, 2, 3, 4)]
+
+    def test_many_requests_ordered(self, sp2):
+        m, am0, am1 = sp2
+        seen = []
+
+        def handler(token, i):
+            seen.append(i)
+
+        n = 3 * REQUEST_WINDOW  # forces window turnover
+
+        def sender():
+            for i in range(n):
+                yield from am0.request_1(1, handler, i)
+
+        def receiver():
+            while len(seen) < n:
+                yield from am1._wait_progress()
+
+        run_pair(m, sender(), receiver(), wait_both=True, limit=1e8)
+        assert seen == list(range(n))
+
+    def test_window_limits_in_flight(self, sp2):
+        """With a receiver that never polls, the sender can put at most
+        one window of requests on the wire and then must block."""
+        m, am0, am1 = sp2
+        sent = [0]
+
+        def sender():
+            for i in range(REQUEST_WINDOW + 10):
+                yield from am0.request_1(1, lambda t, x: None, i)
+                sent[0] += 1
+
+        def silent_receiver():
+            # never services the network
+            from repro.sim import Delay
+            yield Delay(1.0)
+
+        sim = m.sim
+        p0 = sim.spawn(sender())
+        sim.spawn(silent_receiver())
+        # run for a while; the sender must be stuck before finishing
+        sim.run(until=30_000.0, check_deadlock=False)
+        assert sent[0] == REQUEST_WINDOW
+        assert not p0.finished
+
+
+class TestHandlerRules:
+    def test_handler_cannot_request(self, sp2):
+        m, am0, am1 = sp2
+        errors = []
+
+        def bad_handler(token, x):
+            try:
+                yield from am1.request_1(0, lambda t, y: None, 1)
+            except HandlerRestrictionError as e:
+                errors.append(e)
+
+        def sender():
+            yield from am0.request_1(1, bad_handler, 5)
+
+        def receiver():
+            while not errors:
+                yield from am1._wait_progress()
+
+        run_pair(m, sender(), receiver(), wait_both=True)
+        assert len(errors) == 1
+
+    def test_handler_cannot_poll(self, sp2):
+        m, am0, am1 = sp2
+        errors = []
+
+        def bad_handler(token, x):
+            try:
+                yield from am1.poll()
+            except HandlerRestrictionError as e:
+                errors.append(e)
+
+        def sender():
+            yield from am0.request_1(1, bad_handler, 5)
+
+        def receiver():
+            while not errors:
+                yield from am1._wait_progress()
+
+        run_pair(m, sender(), receiver(), wait_both=True)
+        assert len(errors) == 1
+
+    def test_handler_single_reply_enforced(self, sp2):
+        m, am0, am1 = sp2
+        errors = []
+        replies = []
+
+        def on_reply(t, x):
+            replies.append(x)
+
+        def greedy_handler(token, x):
+            yield from token.reply_1(on_reply, 1)
+            try:
+                yield from token.reply_1(on_reply, 2)
+            except HandlerRestrictionError as e:
+                errors.append(e)
+
+        flag = [0]
+
+        def sender():
+            yield from am0.request_1(1, greedy_handler, 5)
+            while not replies:
+                yield from am0._wait_progress()
+            flag[0] = 1
+
+        run_pair(m, sender(), serve(am1, flag))
+        assert len(errors) == 1
+        assert replies == [1]
+
+    def test_request_to_self_rejected(self, sp2):
+        m, am0, am1 = sp2
+
+        def sender():
+            yield from am0.request_1(0, lambda t, x: None, 1)
+
+        p = m.sim.spawn(sender())
+        with pytest.raises(ValueError):
+            m.sim.run()
+
+
+class TestPiggybackAcks:
+    def test_pingpong_needs_no_explicit_acks(self, sp2):
+        """Request/reply traffic acks itself by piggybacking (§2.2)."""
+        m, am0, am1 = sp2
+        replies = []
+
+        def on_reply(t, x):
+            replies.append(x)
+
+        def on_request(token, x):
+            yield from token.reply_1(on_reply, x)
+
+        flag = [0]
+
+        def sender():
+            for i in range(40):
+                before = len(replies)
+                yield from am0.request_1(1, on_request, i)
+                while len(replies) == before:
+                    yield from am0._wait_progress()
+            flag[0] = 1
+
+        run_pair(m, sender(), serve(am1, flag))
+        assert am0.stats.get("explicit_acks_sent") == 0
+        assert am1.stats.get("explicit_acks_sent") == 0
+        assert am0.stats.get("retransmissions") == 0
+
+    def test_one_way_stream_generates_quarter_window_acks(self, sp2):
+        """A pure one-way request stream must be acked explicitly once a
+        quarter of the window is outstanding (§2.2)."""
+        m, am0, am1 = sp2
+        count = [0]
+
+        def handler(token, i):
+            count[0] += 1
+
+        n = 2 * REQUEST_WINDOW
+
+        def sender():
+            for i in range(n):
+                yield from am0.request_1(1, handler, i)
+
+        def receiver():
+            while count[0] < n:
+                yield from am1._wait_progress()
+
+        run_pair(m, sender(), receiver(), wait_both=True, limit=1e8)
+        # receiver issued explicit acks; roughly one per quarter window
+        acks = am1.stats.get("explicit_acks_sent")
+        assert acks >= n // REQUEST_WINDOW * 2
+        assert am0.stats.get("retransmissions") == 0

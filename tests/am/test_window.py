@@ -1,0 +1,151 @@
+"""Unit tests for the sliding-window state machines (§2.2)."""
+
+import pytest
+
+from repro.am.window import RecvWindow, SendWindow
+from repro.hardware.packet import Packet, PacketKind
+
+
+def pkt(seq, chunk_packets=1, offset=0):
+    return Packet(src=0, dst=1, kind=PacketKind.REQUEST, seq=seq,
+                  chunk_packets=chunk_packets, offset=offset)
+
+
+class TestSendWindow:
+    def test_allocate_advances_sequence(self):
+        w = SendWindow(8)
+        assert w.allocate(1) == 0
+        assert w.allocate(3) == 1
+        assert w.next_seq == 4
+        assert w.in_flight == 4
+
+    def test_credit_exhaustion(self):
+        w = SendWindow(4)
+        w.allocate(4)
+        assert not w.can_send(1)
+        with pytest.raises(RuntimeError):
+            w.allocate(1)
+
+    def test_ack_restores_credit(self):
+        w = SendWindow(4)
+        w.allocate(4)
+        w.save(0, [pkt(0)])
+        w.on_ack(2)
+        assert w.can_send(2)
+        assert not w.can_send(3)
+
+    def test_cumulative_ack_frees_saved_packets(self):
+        w = SendWindow(10)
+        for s in range(5):
+            w.allocate(1)
+            w.save(s, [pkt(s)])
+        freed = w.on_ack(3)
+        assert freed == 3
+        assert [p.seq for p in w.unacked_from(0)] == [3, 4]
+
+    def test_stale_ack_is_noop(self):
+        w = SendWindow(10)
+        w.allocate(2)
+        w.save(0, [pkt(0)])
+        w.save(1, [pkt(1)])
+        w.on_ack(2)
+        assert w.on_ack(1) == 0
+        assert w.base == 2
+
+    def test_ack_beyond_next_seq_rejected(self):
+        w = SendWindow(10)
+        w.allocate(1)
+        with pytest.raises(ValueError):
+            w.on_ack(5)
+
+    def test_unacked_from_orders_chunks(self):
+        w = SendWindow(100)
+        w.allocate(36)
+        w.save(0, [pkt(0, 36, off) for off in range(0, 36 * 224, 224)])
+        w.allocate(1)
+        w.save(36, [pkt(36)])
+        out = w.unacked_from(0)
+        assert len(out) == 37
+        assert out[-1].seq == 36
+
+    def test_window_of_zero_rejected(self):
+        with pytest.raises(ValueError):
+            SendWindow(0)
+
+    def test_has_unacked(self):
+        w = SendWindow(4)
+        assert not w.has_unacked
+        w.allocate(1)
+        w.save(0, [pkt(0)])
+        assert w.has_unacked
+        w.on_ack(1)
+        assert not w.has_unacked
+
+
+class TestRecvWindow:
+    def test_in_order_singles_deliver(self):
+        w = RecvWindow(8, 2)
+        for s in range(3):
+            verdict, unit = w.accept(pkt(s))
+            assert verdict == "deliver"
+            assert unit[0].seq == s
+        assert w.expected == 3
+
+    def test_gap_triggers_nack(self):
+        w = RecvWindow(8, 2)
+        w.accept(pkt(0))
+        verdict, _ = w.accept(pkt(2))
+        assert verdict == "nack"
+        assert w.expected == 1
+
+    def test_old_seq_is_duplicate(self):
+        w = RecvWindow(8, 2)
+        w.accept(pkt(0))
+        verdict, _ = w.accept(pkt(0))
+        assert verdict == "duplicate"
+
+    def test_chunk_assembles_out_of_order_offsets(self):
+        w = RecvWindow(100, 25)
+        offsets = [448, 0, 224]
+        verdicts = []
+        for off in offsets:
+            v, unit = w.accept(pkt(0, chunk_packets=3, offset=off))
+            verdicts.append(v)
+        assert verdicts == ["partial", "partial", "deliver"]
+        assert w.expected == 3
+
+    def test_chunk_duplicate_offset_ignored(self):
+        w = RecvWindow(100, 25)
+        w.accept(pkt(0, 3, 0))
+        v, _ = w.accept(pkt(0, 3, 0))  # duplicate offset within chunk
+        assert v == "duplicate"
+        w.accept(pkt(0, 3, 224))
+        v, unit = w.accept(pkt(0, 3, 448))
+        assert v == "deliver"
+        assert len(unit) == 3
+
+    def test_window_slides_by_chunk_size(self):
+        # "the window slides by the number of packets in a chunk"
+        w = RecvWindow(100, 25)
+        for off in range(0, 36 * 224, 224):
+            w.accept(pkt(0, 36, off))
+        assert w.expected == 36
+        v, _ = w.accept(pkt(36))
+        assert v == "deliver"
+
+    def test_explicit_ack_due_at_quarter_window(self):
+        w = RecvWindow(72, 18)
+        for s in range(17):
+            w.accept(pkt(s))
+        assert not w.explicit_ack_due
+        w.accept(pkt(17))
+        assert w.explicit_ack_due
+        assert w.ack_value() == 18
+        assert not w.explicit_ack_due
+
+    def test_nack_outstanding_clears_on_progress(self):
+        w = RecvWindow(8, 2)
+        w.accept(pkt(1))  # gap
+        w.nack_outstanding = True
+        w.accept(pkt(0))  # fills the gap
+        assert not w.nack_outstanding

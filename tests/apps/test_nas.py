@@ -1,0 +1,98 @@
+"""NAS kernel correctness + Table 6 relations (small scales)."""
+
+import pytest
+
+from repro.apps.nas import (
+    NAS_KERNELS,
+    run_bt,
+    run_ft,
+    run_lu,
+    run_mg,
+    run_sp,
+)
+from repro.apps.nas.common import (
+    build_variant,
+    check_pattern,
+    face_pattern,
+    grid_2d,
+    neighbors_2d,
+)
+
+
+class TestHelpers:
+    @pytest.mark.parametrize("nprocs,expect", [(16, (4, 4)), (8, (2, 4)),
+                                               (4, (2, 2)), (2, (1, 2))])
+    def test_grid_2d(self, nprocs, expect):
+        assert grid_2d(nprocs) == expect
+
+    def test_neighbors_edges(self):
+        n = neighbors_2d(0, 4, 4)
+        assert n["west"] is None and n["south"] is None
+        assert n["east"] == 1 and n["north"] == 4
+        n = neighbors_2d(15, 4, 4)
+        assert n["east"] is None and n["north"] is None
+        assert n["west"] == 14 and n["south"] == 11
+
+    def test_face_pattern_roundtrip(self):
+        p = face_pattern(3, 7, 11, 50)
+        assert check_pattern(p.tobytes(), 3, 7, 11, 50)
+        assert not check_pattern(p.tobytes(), 4, 7, 11, 50)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            build_variant("lam-mpi", 4)
+
+    def test_registry_complete(self):
+        assert set(NAS_KERNELS) == {"BT", "FT", "LU", "MG", "SP"}
+
+
+class TestKernelsRun:
+    """Each kernel at tiny scale, on both MPI implementations, verified."""
+
+    @pytest.mark.parametrize("variant", ["mpi-am", "mpi-f"])
+    def test_bt(self, variant):
+        r = run_bt(variant, nprocs=4, grid_n=8, iters=2)
+        assert r.verified and r.elapsed_s > 0
+
+    @pytest.mark.parametrize("variant", ["mpi-am", "mpi-f"])
+    def test_sp(self, variant):
+        r = run_sp(variant, nprocs=4, grid_n=8, iters=2)
+        assert r.verified
+
+    @pytest.mark.parametrize("variant", ["mpi-am", "mpi-f"])
+    def test_lu(self, variant):
+        r = run_lu(variant, nprocs=4, grid_n=8, iters=2)
+        assert r.verified
+
+    @pytest.mark.parametrize("variant", ["mpi-am", "mpi-f"])
+    def test_mg(self, variant):
+        r = run_mg(variant, nprocs=4, grid_n=16, cycles=2)
+        assert r.verified
+
+    @pytest.mark.parametrize("variant", ["mpi-am", "mpi-f"])
+    def test_ft(self, variant):
+        r = run_ft(variant, nprocs=4, grid_n=16, iters=2)
+        assert r.verified
+
+    def test_unoptimized_variant_runs(self):
+        r = run_bt("mpi-am-unopt", nprocs=4, grid_n=8, iters=1)
+        assert r.verified
+
+
+class TestTable6Relations:
+    """The paper's headline: MPI-AM's NAS times are close to MPI-F's."""
+
+    @pytest.mark.parametrize("runner", [run_bt, run_mg])
+    def test_am_within_25_percent_of_mpif(self, runner):
+        am = runner("mpi-am", nprocs=4, grid_n=16,
+                    **({"cycles": 2} if runner is run_mg else {"iters": 2}))
+        f = runner("mpi-f", nprocs=4, grid_n=16,
+                   **({"cycles": 2} if runner is run_mg else {"iters": 2}))
+        assert am.verified and f.verified
+        assert am.elapsed_s / f.elapsed_s < 1.25
+
+    def test_ft_staggered_beats_naive(self):
+        naive = run_ft("mpi-am", nprocs=4, grid_n=16, iters=2)
+        spread = run_ft("mpi-am", nprocs=4, grid_n=16, iters=2,
+                        staggered=True)
+        assert spread.elapsed_s < naive.elapsed_s

@@ -1,0 +1,60 @@
+"""Scale-stability of the application benchmarks.
+
+EXPERIMENTS.md projects the sort results from the reduced default scale to
+the paper's ~131 K keys/proc by multiplying — valid only if the per-key
+cost is scale-stable.  These tests measure it.
+"""
+
+import pytest
+
+from repro.apps.radix_sort import run_radix_sort
+from repro.apps.sample_sort import run_sample_sort
+
+
+class TestPerKeyCostStability:
+    def test_sample_sort_per_key_time_stable(self):
+        small = run_sample_sort("sp-am", nprocs=4, keys_per_proc=512,
+                                variant="small")
+        large = run_sample_sort("sp-am", nprocs=4, keys_per_proc=2048,
+                                variant="small")
+        per_key_small = small.elapsed_us / 512
+        per_key_large = large.elapsed_us / 2048
+        # fixed startup (splitter exchange) amortizes: within 25%
+        assert per_key_large == pytest.approx(per_key_small, rel=0.25)
+        # and the larger run is not SLOWER per key (no superlinear cost)
+        assert per_key_large <= per_key_small * 1.05
+
+    def test_radix_sort_per_key_time_stable(self):
+        small = run_radix_sort("sp-am", nprocs=4, keys_per_proc=512,
+                               variant="large", radix_bits=8)
+        large = run_radix_sort("sp-am", nprocs=4, keys_per_proc=2048,
+                               variant="large", radix_bits=8)
+        per_key_small = small.elapsed_us / 512
+        per_key_large = large.elapsed_us / 2048
+        assert per_key_large <= per_key_small  # histogram cost amortizes
+
+    def test_mpl_am_ratio_scale_stable(self):
+        """The Table-5 headline (MPL/AM ratio for fine-grain sorts) must
+        not depend on the problem scale used."""
+        def ratio(keys):
+            am = run_sample_sort("sp-am", nprocs=4, keys_per_proc=keys,
+                                 variant="small")
+            mpl = run_sample_sort("sp-mpl", nprocs=4, keys_per_proc=keys,
+                                  variant="small")
+            return mpl.elapsed_us / am.elapsed_us
+
+        r_small = ratio(512)
+        r_large = ratio(2048)
+        assert r_large == pytest.approx(r_small, rel=0.20)
+
+
+class TestProcCountScaling:
+    def test_sample_sort_scales_with_processors(self):
+        """Same total keys on more processors: comm grows, compute splits."""
+        four = run_sample_sort("sp-am", nprocs=4, keys_per_proc=1024,
+                               variant="bulk")
+        eight = run_sample_sort("sp-am", nprocs=8, keys_per_proc=512,
+                                variant="bulk")
+        assert four.payload["verified"] and eight.payload["verified"]
+        # per-node compute halves (same total work over twice the nodes)
+        assert eight.cpu_s == pytest.approx(four.cpu_s / 2, rel=0.30)

@@ -1,0 +1,54 @@
+"""The example scripts must run clean end-to-end (they are the doc)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv):
+    old = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py", [])
+    out = capsys.readouterr().out
+    assert "round trip" in out
+    assert "paper: 51.0" in out
+    assert "verified" in out
+
+
+def test_splitc_sort_small_scale(capsys):
+    run_example("splitc_sort.py", ["256"])
+    out = capsys.readouterr().out
+    assert "sp-am" in out and "sp-mpl" in out and "cm5" in out
+    assert out.count("True") >= 10  # every run verified sorted
+
+
+def test_mpi_over_am_mg(capsys):
+    run_example("mpi_over_am.py", ["MG"])
+    out = capsys.readouterr().out
+    assert "MPI-AM" in out and "MPI-F" in out
+    assert "ratio" in out
+
+
+def test_reliability_demo(capsys):
+    run_example("reliability_demo.py", ["2"])
+    out = capsys.readouterr().out
+    assert "data intact after recovery: True" in out
+    assert "retransmissions" in out
+
+
+def test_ft_transpose(capsys):
+    run_example("ft_transpose.py", ["1024"])
+    out = capsys.readouterr().out
+    assert "verified the transposed data" in out
+    assert "S4.4" in out and "S5" in out

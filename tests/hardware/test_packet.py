@@ -1,0 +1,52 @@
+"""Packet geometry tests (§2.2 constants)."""
+
+import pytest
+
+from repro.hardware.packet import Packet, PacketKind
+from repro.hardware.params import (
+    CHUNK_BYTES,
+    CHUNK_PACKETS,
+    PACKET_HEADER_BYTES,
+    PACKET_PAYLOAD_BYTES,
+    PACKET_SLOT_BYTES,
+)
+
+
+def test_paper_geometry():
+    # "A packet has 224 bytes of data and 32 bytes of header. A chunk
+    # corresponds to 36 packets." (§2.2 footnote)
+    assert PACKET_HEADER_BYTES == 32
+    assert PACKET_PAYLOAD_BYTES == 224
+    assert PACKET_SLOT_BYTES == 256
+    assert CHUNK_PACKETS == 36
+    assert CHUNK_BYTES == 8064  # stated literally in the paper
+
+
+def test_wire_bytes_header_only():
+    p = Packet(src=0, dst=1, kind=PacketKind.ACK)
+    assert p.wire_bytes == PACKET_HEADER_BYTES
+
+
+def test_wire_bytes_counts_args_and_payload():
+    p = Packet(src=0, dst=1, kind=PacketKind.REQUEST, args=(1, 2, 3))
+    assert p.wire_bytes == PACKET_HEADER_BYTES + 12
+    q = Packet(src=0, dst=1, kind=PacketKind.STORE_DATA, payload=b"x" * 100)
+    assert q.wire_bytes == PACKET_HEADER_BYTES + 100
+
+
+def test_payload_limit_enforced():
+    with pytest.raises(ValueError):
+        Packet(src=0, dst=1, kind=PacketKind.STORE_DATA,
+               payload=b"x" * (PACKET_PAYLOAD_BYTES + 1))
+
+
+def test_max_four_word_args():
+    with pytest.raises(ValueError):
+        Packet(src=0, dst=1, kind=PacketKind.REQUEST, args=(1, 2, 3, 4, 5))
+
+
+def test_sequenced_kinds():
+    assert Packet(src=0, dst=1, kind=PacketKind.REQUEST).is_sequenced
+    assert Packet(src=0, dst=1, kind=PacketKind.STORE_DATA).is_sequenced
+    assert not Packet(src=0, dst=1, kind=PacketKind.ACK).is_sequenced
+    assert not Packet(src=0, dst=1, kind=PacketKind.RAW).is_sequenced

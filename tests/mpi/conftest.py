@@ -1,0 +1,42 @@
+"""Fixtures for MPI tests: machines with MPI-AM or MPI-F installed."""
+
+import pytest
+
+from repro.am import attach_spam
+from repro.hardware import build_sp_machine
+from repro.hardware.params import machine_params
+from repro.mpi import OPTIMIZED, UNOPTIMIZED, attach_mpi, attach_mpif
+from repro.sim import Simulator
+
+
+def make_mpi(nprocs=2, config=None, kind="sp-thin"):
+    sim = Simulator()
+    m = build_sp_machine(sim, nprocs, machine_params(kind))
+    attach_spam(m)
+    mpis = attach_mpi(m, config)
+    return m, mpis
+
+
+def make_mpif(nprocs=2, kind="sp-thin", eager_max=None):
+    sim = Simulator()
+    m = build_sp_machine(sim, nprocs, machine_params(kind))
+    mpis = attach_mpif(m, eager_max)
+    return m, mpis
+
+
+def run_ranks(machine, make_prog, limit=1e9):
+    sim = machine.sim
+    procs = [sim.spawn(make_prog(r), name=f"mpi{r}")
+             for r in range(machine.nprocs)]
+    sim.run_until_processes_done(procs, limit=limit,
+                                 max_events=50_000_000)
+    return procs
+
+
+@pytest.fixture(params=["opt", "unopt", "mpif"])
+def any_mpi4(request):
+    """4-rank MPI world over each implementation variant."""
+    if request.param == "mpif":
+        return make_mpif(4)
+    cfg = OPTIMIZED if request.param == "opt" else UNOPTIMIZED
+    return make_mpi(4, cfg)

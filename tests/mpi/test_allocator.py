@@ -1,0 +1,175 @@
+"""Receive-region allocators: unit + property tests (§4.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.allocator import BinnedAllocator, FirstFitAllocator
+from repro.mpi.protocol import pack_free, pack_rts_len, unpack_free, unpack_rts_len
+
+
+class TestFirstFit:
+    def test_allocates_from_front(self):
+        a = FirstFitAllocator(1024)
+        assert a.alloc(100) == 0
+        assert a.alloc(100) == 100
+
+    def test_exhaustion_returns_none(self):
+        a = FirstFitAllocator(256)
+        assert a.alloc(256) == 0
+        assert a.alloc(1) is None
+
+    def test_free_enables_reuse(self):
+        a = FirstFitAllocator(256)
+        off = a.alloc(256)
+        a.free(off, 256)
+        assert a.alloc(256) == 0
+
+    def test_coalescing(self):
+        a = FirstFitAllocator(300)
+        x = a.alloc(100)
+        y = a.alloc(100)
+        z = a.alloc(100)
+        a.free(x, 100)
+        a.free(z, 100)
+        a.free(y, 100)  # middle free must merge all three
+        assert a.walk_length == 1
+        assert a.alloc(300) == 0
+
+    def test_first_fit_skips_small_holes(self):
+        a = FirstFitAllocator(300)
+        x = a.alloc(50)
+        a.alloc(50)
+        a.free(x, 50)
+        assert a.alloc(100) == 100  # hole at 0 is too small
+
+    def test_double_free_detected(self):
+        a = FirstFitAllocator(256)
+        off = a.alloc(64)
+        a.free(off, 64)
+        with pytest.raises(ValueError):
+            a.free(off, 64)
+
+    def test_free_out_of_range_rejected(self):
+        a = FirstFitAllocator(256)
+        with pytest.raises(ValueError):
+            a.free(200, 100)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            FirstFitAllocator(0)
+        a = FirstFitAllocator(64)
+        with pytest.raises(ValueError):
+            a.alloc(0)
+        with pytest.raises(ValueError):
+            a.free(0, 0)
+
+
+class TestBinned:
+    def test_small_allocs_use_bins(self):
+        a = BinnedAllocator(16384, bin_size=1024, bin_count=8)
+        offs = [a.alloc(100) for _ in range(8)]
+        assert all(a.used_bin(o) for o in offs)
+        assert len(set(offs)) == 8
+
+    def test_bins_grow_on_demand_from_the_arena(self):
+        a = BinnedAllocator(16384, bin_size=1024, bin_count=8)
+        offs = [a.alloc(100) for _ in range(9)]
+        assert all(o is not None for o in offs)
+        assert all(a.used_bin(o) for o in offs)
+
+    def test_large_allocs_skip_bins(self):
+        a = BinnedAllocator(16384, bin_size=1024, bin_count=8)
+        off = a.alloc(2048)
+        assert not a.used_bin(off)
+
+    def test_large_alloc_can_use_whole_region(self):
+        # idle cached bins must not squeeze out a big eager message
+        a = BinnedAllocator(16384, bin_size=1024, bin_count=8)
+        for _ in range(8):
+            off = a.alloc(100)
+            a.free(off, 100)  # all eight bins now cached
+        big = a.alloc(16384)
+        assert big is not None
+
+    def test_two_8k_messages_fit(self):
+        # the Fig-9 pipelining property: two 8 KB eager messages in flight
+        a = BinnedAllocator(16384, bin_size=1024, bin_count=8)
+        x = a.alloc(8192)
+        y = a.alloc(8192)
+        assert x is not None and y is not None
+
+    def test_bin_free_and_reuse(self):
+        a = BinnedAllocator(16384)
+        off = a.alloc(512)
+        a.free(off, 512)
+        off2 = a.alloc(512)
+        assert a.used_bin(off2)
+
+    def test_double_bin_free_detected(self):
+        a = BinnedAllocator(16384)
+        off = a.alloc(512)
+        a.free(off, 512)
+        with pytest.raises(ValueError):
+            a.free(off, 512)
+
+    def test_bins_cannot_consume_region(self):
+        with pytest.raises(ValueError):
+            BinnedAllocator(4096, bin_size=1024, bin_count=8)
+
+
+@st.composite
+def alloc_free_script(draw):
+    return draw(st.lists(
+        st.one_of(
+            st.tuples(st.just("alloc"),
+                      st.integers(min_value=1, max_value=4096)),
+            st.tuples(st.just("free"),
+                      st.integers(min_value=0, max_value=30)),
+        ),
+        max_size=60,
+    ))
+
+
+class TestAllocatorProperties:
+    @given(script=alloc_free_script(),
+           kind=st.sampled_from(["firstfit", "binned"]))
+    @settings(max_examples=120)
+    def test_no_overlap_and_conservation(self, script, kind):
+        cap = 16384
+        a = (FirstFitAllocator(cap) if kind == "firstfit"
+             else BinnedAllocator(cap))
+        live = []  # (offset, length)
+        for op, arg in script:
+            if op == "alloc":
+                off = a.alloc(arg)
+                if off is None:
+                    continue
+                # inside the region
+                assert 0 <= off and off + arg <= cap
+                # no overlap with any live allocation
+                for o2, l2 in live:
+                    assert off + arg <= o2 or o2 + l2 <= off, \
+                        f"overlap: ({off},{arg}) vs ({o2},{l2})"
+                live.append((off, arg))
+            else:
+                if not live:
+                    continue
+                off, length = live.pop(arg % len(live))
+                a.free(off, length)
+        # freeing everything restores all capacity
+        for off, length in live:
+            a.free(off, length)
+        assert a.free_bytes == cap
+
+    @given(total=st.integers(min_value=1, max_value=1 << 40),
+           prefix=st.integers(min_value=0, max_value=4096))
+    def test_rts_word_roundtrip(self, total, prefix):
+        t, p = unpack_rts_len(pack_rts_len(total, prefix))
+        assert (t, p) == (total, prefix)
+
+    @given(offset=st.integers(min_value=0, max_value=16384),
+           length=st.integers(min_value=1, max_value=16384))
+    def test_free_word_roundtrip(self, offset, length):
+        o, l = unpack_free(pack_free(offset, length))
+        assert (o, l) == (offset, length)

@@ -1,0 +1,60 @@
+"""Communicator semantics: ranks, dup, split."""
+
+import pytest
+
+from repro.mpi.comm import Communicator
+
+
+class TestBasics:
+    def test_rank_and_size(self):
+        c = Communicator([3, 5, 9], my_world_rank=5)
+        assert c.size == 3
+        assert c.rank == 1
+        assert c.world_rank_of(2) == 9
+
+    def test_membership_required(self):
+        with pytest.raises(ValueError):
+            Communicator([0, 1], my_world_rank=7)
+
+    def test_contexts_unique_by_default(self):
+        a = Communicator([0, 1], 0)
+        b = Communicator([0, 1], 0)
+        assert a.context != b.context
+
+
+class TestDup:
+    def test_dup_same_group_new_context(self):
+        c = Communicator([0, 1, 2], 1, context=5)
+        d = c.dup(99)
+        assert d.world_ranks == c.world_ranks
+        assert d.rank == c.rank
+        assert d.context == 99 != c.context
+
+
+class TestSplit:
+    def test_split_by_color(self):
+        c = Communicator([0, 1, 2, 3], 2, context=7)
+        colors = [0, 1, 0, 1]
+        keys = [0, 0, 1, 1]
+        sub = c.split(color=colors[c.rank], key=keys[c.rank],
+                      all_colors=colors, all_keys=keys,
+                      new_context_base=100)
+        # world rank 2 has color 0; its group is world ranks {0, 2}
+        assert sub.world_ranks == [0, 2]
+        assert sub.rank == 1
+        assert sub.context == 100
+
+    def test_split_key_orders_ranks(self):
+        c = Communicator([0, 1, 2], 0, context=7)
+        colors = [0, 0, 0]
+        keys = [2, 1, 0]  # reverse order
+        sub = c.split(0, keys[0], colors, keys, 200)
+        assert sub.world_ranks == [2, 1, 0]
+        assert sub.rank == 2
+
+    def test_split_isolates_contexts_per_color(self):
+        c = Communicator([0, 1], 0, context=7)
+        s0 = c.split(0, 0, [0, 1], [0, 0], 300)
+        c2 = Communicator([0, 1], 1, context=7)
+        s1 = c2.split(1, 0, [0, 1], [0, 0], 300)
+        assert s0.context != s1.context

@@ -1,0 +1,247 @@
+"""MPI derived datatypes: pack/unpack round-trips + typed transport."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.datatypes import (
+    BYTE,
+    DOUBLE,
+    INT,
+    Basic,
+    Contiguous,
+    Indexed,
+    Vector,
+    column_type,
+    pack_cost_us,
+)
+from tests.mpi.conftest import make_mpi, run_ranks
+
+
+class TestBasics:
+    def test_sizes(self):
+        assert BYTE.size == 1
+        assert INT.size == 4
+        assert DOUBLE.size == 8
+
+    def test_basic_roundtrip(self):
+        raw = b"\x01\x02\x03\x04"
+        packed = INT.pack(raw)
+        out = bytearray(4)
+        INT.unpack(packed, out)
+        assert bytes(out) == raw
+
+    def test_basic_short_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            DOUBLE.pack(b"abc")
+
+
+class TestContiguous:
+    def test_geometry(self):
+        t = Contiguous(10, DOUBLE)
+        assert t.packed_size == 80
+        assert t.extent == 80
+
+    def test_roundtrip(self):
+        t = Contiguous(4, INT)
+        raw = bytes(range(16))
+        out = bytearray(16)
+        t.unpack(t.pack(raw), out)
+        assert bytes(out) == raw
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Contiguous(-1, BYTE)
+
+
+class TestVector:
+    def test_column_of_matrix(self):
+        rows, cols = 4, 6
+        mat = np.arange(rows * cols, dtype=np.float64).reshape(rows, cols)
+        col = column_type(rows, cols)
+        packed = col.pack(mat.tobytes())
+        got = np.frombuffer(packed, np.float64)
+        assert (got == mat[:, 0]).all()
+
+    def test_scatter_back(self):
+        rows, cols = 3, 5
+        col = column_type(rows, cols)
+        data = np.array([7.0, 8.0, 9.0])
+        image = bytearray(col.extent)
+        col.unpack(data.tobytes(), image)
+        mat = np.frombuffer(bytes(image), np.float64)
+        assert mat[0] == 7.0 and mat[cols] == 8.0 and mat[2 * cols] == 9.0
+
+    def test_overlapping_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            Vector(count=3, blocklength=4, stride=2, base=BYTE)
+
+    def test_empty_vector(self):
+        t = Vector(0, 1, 1, BYTE)
+        assert t.packed_size == 0 and t.extent == 0
+
+
+class TestIndexed:
+    def test_roundtrip(self):
+        t = Indexed([2, 1, 3], [0, 4, 7], BYTE)
+        raw = bytes(range(10))
+        packed = t.pack(raw)
+        assert packed == bytes([0, 1, 4, 7, 8, 9])
+        out = bytearray(t.extent)
+        t.unpack(packed, out)
+        for b, d in zip([2, 1, 3], [0, 4, 7]):
+            assert out[d: d + b] == raw[d: d + b]
+
+    def test_mismatched_lists_rejected(self):
+        with pytest.raises(ValueError):
+            Indexed([1, 2], [0], BYTE)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            Indexed([4, 2], [0, 2], BYTE)
+
+    @given(
+        geometry=st.lists(
+            st.tuples(st.integers(1, 8), st.integers(0, 8)),
+            min_size=1, max_size=6),
+    )
+    @settings(max_examples=80)
+    def test_property_roundtrip(self, geometry):
+        # build non-overlapping blocks by laying them out cumulatively
+        blocklengths, displacements = [], []
+        pos = 0
+        for length, gap in geometry:
+            displacements.append(pos + gap)
+            blocklengths.append(length)
+            pos += gap + length
+        t = Indexed(blocklengths, displacements, BYTE)
+        raw = bytes((i * 31) % 256 for i in range(t.extent))
+        out = bytearray(t.extent)
+        t.unpack(t.pack(raw), out)
+        for b, d in zip(blocklengths, displacements):
+            assert out[d: d + b] == raw[d: d + b]
+
+
+class TestTypedTransport:
+    def test_column_exchange_over_mpi(self):
+        """Send a matrix column with a vector type; it lands scattered."""
+        rows, cols = 8, 8
+        m, mpis = make_mpi(2)
+        mat = np.arange(rows * cols, dtype=np.float64).reshape(rows, cols)
+        col = column_type(rows, cols)
+        out = []
+
+        def prog(rank):
+            def go():
+                if rank == 0:
+                    yield from mpis[0].send_typed(mat.tobytes(), col, 1,
+                                                  tag=3)
+                else:
+                    image, st_ = yield from mpis[1].recv_typed(col, 0, tag=3)
+                    got = np.frombuffer(image, np.float64)
+                    out.append(got[::cols].copy())
+            return go()
+
+        run_ranks(m, prog)
+        assert (out[0] == mat[:, 0]).all()
+
+    def test_pack_cost_positive_and_strided_costlier(self):
+        from repro.hardware.params import HostParams
+
+        host = HostParams()
+        contig = Contiguous(128, DOUBLE)
+        strided = Vector(128, 1, 4, DOUBLE)
+        assert pack_cost_us(contig, host) > 0
+        assert pack_cost_us(strided, host) > pack_cost_us(contig, host)
+
+
+class TestExtendedRequests:
+    def test_waitany_returns_first_done(self):
+        m, mpis = make_mpi(2)
+        out = []
+
+        def prog(rank):
+            def go():
+                if rank == 0:
+                    from repro.sim import Delay
+                    yield Delay(500.0)
+                    yield from mpis[0].send(b"beta", 1, tag=2)
+                    yield from mpis[0].send(b"alpha", 1, tag=1)
+                else:
+                    r1 = yield from mpis[1].irecv(8, 0, tag=1)
+                    r2 = yield from mpis[1].irecv(8, 0, tag=2)
+                    i, st_ = yield from mpis[1].waitany([r1, r2])
+                    out.append(i)
+                    yield from mpis[1].waitall([r1, r2])
+            return go()
+
+        run_ranks(m, prog)
+        assert out == [1]  # tag=2 was sent first
+
+    def test_testall_and_waitsome(self):
+        m, mpis = make_mpi(2)
+        flags = []
+
+        def prog(rank):
+            def go():
+                if rank == 0:
+                    yield from mpis[0].send(b"x", 1, tag=1)
+                    yield from mpis[0].send(b"y", 1, tag=2)
+                else:
+                    r1 = yield from mpis[1].irecv(4, 0, tag=1)
+                    r2 = yield from mpis[1].irecv(4, 0, tag=2)
+                    done = yield from mpis[1].waitsome([r1, r2])
+                    flags.append(bool(done))
+                    yield from mpis[1].waitall([r1, r2])
+                    flags.append((yield from mpis[1].testall([r1, r2])))
+            return go()
+
+        run_ranks(m, prog)
+        assert flags == [True, True]
+
+    def test_waitany_empty_rejected(self):
+        m, mpis = make_mpi(2)
+
+        def prog(rank):
+            def go():
+                if rank == 0:
+                    yield from mpis[0].waitany([])
+                else:
+                    return
+                    yield
+            return go()
+
+        with pytest.raises(ValueError):
+            run_ranks(m, prog)
+
+
+class TestScan:
+    def test_inclusive_prefix_sum(self):
+        m, mpis = make_mpi(4)
+        out = {}
+
+        def prog(rank):
+            def go():
+                arr = np.array([float(rank + 1)])
+                res = yield from mpis[rank].scan(arr, "sum")
+                out[rank] = res[0]
+            return go()
+
+        run_ranks(m, prog)
+        assert out == {0: 1.0, 1: 3.0, 2: 6.0, 3: 10.0}
+
+    def test_scan_max(self):
+        m, mpis = make_mpi(3)
+        out = {}
+        vals = [5.0, 2.0, 9.0]
+
+        def prog(rank):
+            def go():
+                res = yield from mpis[rank].scan(np.array([vals[rank]]),
+                                                 "max")
+                out[rank] = res[0]
+            return go()
+
+        run_ranks(m, prog)
+        assert out == {0: 5.0, 1: 5.0, 2: 9.0}

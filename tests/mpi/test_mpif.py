@@ -1,0 +1,114 @@
+"""MPI-F model specifics: protocol switch, node tuning, NAS parity."""
+
+import pytest
+
+from repro.mpi.mpif import thin_node_costs, wide_node_costs
+from tests.mpi.conftest import make_mpif, run_ranks
+
+
+class TestProtocolSwitch:
+    def _one_way(self, n, eager_max=None, kind="sp-thin"):
+        m, mpis = make_mpif(2, kind=kind, eager_max=eager_max)
+        out = []
+
+        def prog(rank):
+            def go():
+                if rank == 0:
+                    yield from mpis[0].send(bytes(n), 1, tag=1)
+                else:
+                    d, _ = yield from mpis[1].recv(n, 0, tag=1)
+                    out.append(len(d))
+            return go()
+
+        run_ranks(m, prog)
+        return m, mpis, out
+
+    def test_eager_below_switch(self):
+        m, mpis, out = self._one_way(4096)
+        assert out == [4096]
+        assert mpis[0].adi.stats.get("eager_sends") == 1
+        assert mpis[0].adi.stats.get("rendezvous_sends") == 0
+
+    def test_rendezvous_above_switch(self):
+        m, mpis, out = self._one_way(4097)
+        assert out == [4097]
+        assert mpis[0].adi.stats.get("rendezvous_sends") == 1
+
+    def test_switch_overridable(self):
+        m, mpis, out = self._one_way(10_000, eager_max=16384)
+        assert out == [10_000]
+        assert mpis[0].adi.stats.get("eager_sends") == 1
+
+    def test_rendezvous_pays_extra_roundtrip(self):
+        def time_for(n, eager_max):
+            m, mpis, _ = self._one_way(n, eager_max=eager_max)
+            return m.sim.now
+
+        fast = time_for(6000, eager_max=8192)   # eager
+        slow = time_for(6000, eager_max=4096)   # rendez-vous
+        assert slow > fast + 50.0  # roughly one extra round trip
+
+
+class TestNodeTuning:
+    def test_wide_costs_lower_fixed_higher_per_packet(self):
+        thin, wide = thin_node_costs(), wide_node_costs()
+        assert wide.send_fixed < thin.send_fixed
+        assert wide.recv_fixed < thin.recv_fixed
+        assert wide.per_packet > thin.per_packet
+
+    def test_unexpected_messages_supported(self):
+        m, mpis = make_mpif(2)
+        out = []
+
+        def prog(rank):
+            def go():
+                if rank == 0:
+                    yield from mpis[0].send(b"first", 1, tag=7)
+                    yield from mpis[0].send(b"second", 1, tag=8)
+                else:
+                    # receive in reverse: tag=7 must queue unexpected
+                    d8, _ = yield from mpis[1].recv(8, 0, tag=8)
+                    d7, _ = yield from mpis[1].recv(8, 0, tag=7)
+                    out.extend([d8, d7])
+            return go()
+
+        run_ranks(m, prog)
+        assert out == [b"second", b"first"]
+
+    def test_unexpected_rendezvous(self):
+        m, mpis = make_mpif(2)
+        n = 30_000
+        data = bytes(i % 256 for i in range(n))
+        out = []
+
+        def prog(rank):
+            def go():
+                if rank == 0:
+                    req = yield from mpis[0].isend(data, 1, tag=1)
+                    yield from mpis[0].send(b"poke", 1, tag=2)
+                    yield from mpis[0].wait(req)
+                else:
+                    yield from mpis[1].recv(8, 0, tag=2)   # forces a poll
+                    d, _ = yield from mpis[1].recv(n, 0, tag=1)
+                    out.append(d)
+            return go()
+
+        run_ranks(m, prog)
+        assert out == [data]
+
+
+class TestCollectivesOverMPIF:
+    def test_barrier_and_bcast(self):
+        m, mpis = make_mpif(4)
+        got = {}
+
+        def prog(rank):
+            def go():
+                yield from mpis[rank].barrier()
+                v = yield from mpis[rank].bcast(
+                    b"native" if rank == 0 else None, 0)
+                got[rank] = v
+            return go()
+
+        run_ranks(m, prog)
+        assert all(v == b"native" for v in got.values())

@@ -1,0 +1,289 @@
+"""MPL semantics: matching, blocking/non-blocking, multi-packet messages."""
+
+import pytest
+
+from repro.hardware import build_sp_machine
+from repro.mpl import attach_mpl
+from repro.mpl.engine import ANY
+from repro.sim import Simulator
+
+
+def make(nprocs=2):
+    sim = Simulator()
+    m = build_sp_machine(sim, nprocs)
+    attach_mpl(m)
+    return m
+
+
+def run(m, *progs, limit=1e8):
+    sim = m.sim
+    procs = [sim.spawn(p, name=f"mpl{i}") for i, p in enumerate(progs)]
+    sim.run_until_processes_done(procs, limit=limit)
+    return procs
+
+
+class TestBasic:
+    def test_send_recv_roundtrip_data(self):
+        m = make()
+        payload = bytes(range(256)) * 3
+        out = []
+
+        def sender():
+            yield from m.node(0).mpl.mpc_bsend(payload, 1, tag=5)
+
+        def receiver():
+            data = yield from m.node(1).mpl.mpc_brecv(4096, 0, tag=5)
+            out.append(data)
+
+        run(m, sender(), receiver())
+        assert out == [payload]
+
+    @pytest.mark.parametrize("n", [0, 1, 224, 225, 8064, 50_000])
+    def test_message_sizes(self, n):
+        m = make()
+        payload = bytes(i % 251 for i in range(n))
+        out = []
+
+        def sender():
+            yield from m.node(0).mpl.mpc_bsend(payload, 1)
+
+        def receiver():
+            out.append((yield from m.node(1).mpl.mpc_brecv(max(n, 1), 0)))
+
+        run(m, sender(), receiver())
+        assert out == [payload]
+
+    def test_messages_ordered_per_tag(self):
+        m = make()
+        out = []
+
+        def sender():
+            for i in range(20):
+                yield from m.node(0).mpl.mpc_bsend(bytes([i]), 1, tag=3)
+
+        def receiver():
+            for _ in range(20):
+                d = yield from m.node(1).mpl.mpc_brecv(1, 0, tag=3)
+                out.append(d[0])
+
+        run(m, sender(), receiver())
+        assert out == list(range(20))
+
+    def test_truncation_rejected(self):
+        m = make()
+
+        def sender():
+            yield from m.node(0).mpl.mpc_bsend(b"12345678", 1)
+
+        def receiver():
+            yield from m.node(1).mpl.mpc_brecv(4, 0)
+
+        with pytest.raises(ValueError):
+            run(m, sender(), receiver())
+
+    def test_send_to_self_rejected(self):
+        m = make()
+
+        def sender():
+            yield from m.node(0).mpl.mpc_bsend(b"x", 0)
+
+        with pytest.raises(ValueError):
+            run(m, sender())
+
+
+class TestMatching:
+    def test_tag_selectivity(self):
+        m = make()
+        out = []
+
+        def sender():
+            yield from m.node(0).mpl.mpc_bsend(b"AA", 1, tag=1)
+            yield from m.node(0).mpl.mpc_bsend(b"BB", 1, tag=2)
+
+        def receiver():
+            b = yield from m.node(1).mpl.mpc_brecv(2, 0, tag=2)
+            a = yield from m.node(1).mpl.mpc_brecv(2, 0, tag=1)
+            out.extend([b, a])
+
+        run(m, sender(), receiver())
+        assert out == [b"BB", b"AA"]
+
+    def test_wildcard_source(self):
+        m = make(3)
+        out = []
+
+        def sender(rank, data):
+            def go():
+                yield from m.node(rank).mpl.mpc_bsend(data, 2, tag=9)
+            return go()
+
+        def receiver():
+            for _ in range(2):
+                d = yield from m.node(2).mpl.mpc_brecv(8, ANY, tag=9)
+                out.append(bytes(d))
+
+        run(m, sender(0, b"from0"), sender(1, b"from1"), receiver())
+        assert sorted(out) == [b"from0", b"from1"]
+
+    def test_wildcard_tag(self):
+        m = make()
+        out = []
+
+        def sender():
+            yield from m.node(0).mpl.mpc_bsend(b"zz", 1, tag=42)
+
+        def receiver():
+            out.append((yield from m.node(1).mpl.mpc_brecv(2, 0, ANY)))
+
+        run(m, sender(), receiver())
+        assert out == [b"zz"]
+
+
+class TestNonBlocking:
+    def test_mpc_recv_wait(self):
+        m = make()
+        out = []
+
+        def sender():
+            yield from m.node(0).mpl.mpc_bsend(b"hello", 1, tag=1)
+
+        def receiver():
+            h = yield from m.node(1).mpl.mpc_recv(8, 0, tag=1)
+            data = yield from m.node(1).mpl.mpc_wait(h)
+            out.append(data)
+
+        run(m, sender(), receiver())
+        assert out == [b"hello"]
+
+    def test_mpc_status_polls(self):
+        m = make()
+        out = []
+
+        def sender():
+            yield from m.node(0).mpl.mpc_bsend(b"x" * 100, 1, tag=1)
+
+        def receiver():
+            mpl = m.node(1).mpl
+            h = yield from mpl.mpc_recv(128, 0, tag=1)
+            while not (yield from mpl.mpc_status(h)):
+                pass
+            out.append(h.data)
+
+        run(m, sender(), receiver())
+        assert out == [b"x" * 100]
+
+    def test_send_handle_completes_eagerly(self):
+        m = make()
+        flags = []
+
+        def sender():
+            h = yield from m.node(0).mpl.mpc_send(b"data", 1, tag=1)
+            flags.append(h.done)
+
+        def receiver():
+            yield from m.node(1).mpl.mpc_brecv(8, 0, tag=1)
+
+        run(m, sender(), receiver())
+        assert flags == [True]
+
+
+class TestFlowControl:
+    def test_large_stream_does_not_overflow(self):
+        """A long burst must stay within the credit window: zero drops."""
+        m = make()
+        n_msgs, size = 30, 4096
+
+        def sender():
+            for i in range(n_msgs):
+                yield from m.node(0).mpl.mpc_send(bytes(size), 1, tag=1)
+
+        def receiver():
+            for _ in range(n_msgs):
+                yield from m.node(1).mpl.mpc_brecv(size, 0, tag=1)
+
+        run(m, sender(), receiver(), limit=1e9)
+        assert m.node(1).adapter.stats.get("rx_dropped_overflow") == 0
+        assert m.node(1).mpl.engine.stats.get("credits_returned") > 0
+
+    def test_interleaved_bidirectional_traffic(self):
+        m = make()
+        results = {}
+
+        def peer(me, other):
+            def go():
+                mpl = m.node(me).mpl
+                for i in range(10):
+                    yield from mpl.mpc_bsend(bytes([me] * 500), other, tag=i)
+                    d = yield from mpl.mpc_brecv(512, other, tag=i)
+                    results.setdefault(me, []).append(d[0])
+            return go()
+
+        run(m, peer(0, 1), peer(1, 0), limit=1e9)
+        assert results[0] == [1] * 10
+        assert results[1] == [0] * 10
+
+
+class TestQueries:
+    def test_mpc_environ(self):
+        m = make(3)
+        assert m.node(2).mpl.mpc_environ() == (3, 2)
+
+    def test_mpc_probe(self):
+        m = make()
+        found = []
+
+        def sender():
+            yield from m.node(0).mpl.mpc_bsend(b"probe-me", 1, tag=6)
+
+        def receiver():
+            mpl = m.node(1).mpl
+            while True:
+                hit = yield from mpl.mpc_probe(0, 6)
+                if hit is not None:
+                    found.append(hit)
+                    break
+            yield from mpl.mpc_brecv(16, 0, tag=6)
+
+        run(m, sender(), receiver())
+        assert found == [(0, 6, 8)]
+
+    def test_mpc_probe_misses_cleanly(self):
+        m = make()
+
+        def prog():
+            hit = yield from m.node(0).mpl.mpc_probe()
+            assert hit is None
+
+        run(m, prog())
+
+    @pytest.mark.parametrize("nprocs", [2, 4, 5])
+    def test_mpc_sync_holds_everyone(self, nprocs):
+        from repro.sim import Delay
+
+        m = make(nprocs)
+        times = {}
+
+        def prog(rank):
+            def go():
+                yield Delay(150.0 * rank)
+                yield from m.node(rank).mpl.mpc_sync()
+                times[rank] = m.sim.now
+            return go()
+
+        run(m, *[prog(r) for r in range(nprocs)], limit=1e8)
+        assert min(times.values()) >= 150.0 * (nprocs - 1)
+
+    def test_repeated_syncs(self):
+        m = make(3)
+        order = []
+
+        def prog(rank):
+            def go():
+                for it in range(3):
+                    yield from m.node(rank).mpl.mpc_sync()
+                    order.append(it)
+            return go()
+
+        run(m, *[prog(r) for r in range(3)], limit=1e8)
+        for it in range(3):
+            assert set(order[3 * it: 3 * it + 3]) == {it}

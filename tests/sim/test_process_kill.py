@@ -1,0 +1,92 @@
+"""Process.kill(): termination, cleanup, and stale-wakeup safety."""
+
+import pytest
+
+from repro.sim import Delay, Simulator, WaitEvent
+from repro.sim.errors import ProcessKilled
+
+
+class TestKill:
+    def test_kill_blocked_process(self):
+        sim = Simulator()
+        ev = sim.event("never")
+
+        def stuck():
+            yield WaitEvent(ev)
+
+        p = sim.spawn(stuck())
+        sim.schedule(5.0, p.kill)
+        sim.run()  # no DeadlockError: the blocked process was killed
+        assert p.finished
+
+    def test_finally_blocks_run(self):
+        sim = Simulator()
+        cleaned = []
+
+        def prog():
+            try:
+                yield Delay(100.0)
+            finally:
+                cleaned.append(True)
+
+        p = sim.spawn(prog())
+        sim.schedule(1.0, p.kill)
+        sim.run(check_deadlock=False)
+        assert cleaned == [True]
+        assert p.finished
+
+    def test_stale_delay_wakeup_after_kill_is_ignored(self):
+        sim = Simulator()
+
+        def prog():
+            yield Delay(10.0)  # wakeup at t=10 becomes stale
+            raise AssertionError("must not resume after kill")
+
+        p = sim.spawn(prog())
+        sim.schedule(5.0, p.kill)
+        sim.run(check_deadlock=False)
+        assert p.finished
+
+    def test_process_may_catch_kill_and_finish(self):
+        sim = Simulator()
+        note = []
+
+        def graceful():
+            try:
+                yield Delay(100.0)
+            except ProcessKilled:
+                note.append("shutting down")
+
+        p = sim.spawn(graceful())
+        sim.schedule(1.0, p.kill)
+        sim.run(check_deadlock=False)
+        assert note == ["shutting down"]
+        assert p.finished
+
+    def test_kill_finished_process_is_noop(self):
+        sim = Simulator()
+
+        def quick():
+            yield Delay(1.0)
+            return "done"
+
+        p = sim.spawn(quick())
+        sim.run()
+        p.kill()
+        assert p.result == "done"
+
+    def test_kill_interacts_cleanly_with_other_processes(self):
+        sim = Simulator()
+        trace = []
+
+        def worker(name, period):
+            while True:
+                yield Delay(period)
+                trace.append(name)
+
+        a = sim.spawn(worker("a", 2.0))
+        b = sim.spawn(worker("b", 3.0))
+        sim.schedule(7.0, a.kill)
+        sim.schedule(10.0, b.kill)
+        sim.run(check_deadlock=False)
+        assert trace == ["a", "b", "a", "b", "a", "b"]

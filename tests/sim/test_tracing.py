@@ -1,0 +1,96 @@
+"""Tracer tests: collection, filtering, and protocol-schedule queries."""
+
+import pytest
+
+from repro.am import attach_spam
+from repro.hardware import build_sp_machine
+from repro.hardware.packet import PacketKind
+from repro.sim import Simulator
+from repro.sim.tracing import TraceEvent, Tracer
+
+
+def run_store(tracer_limit=1_000_000, dropper=None, nbytes=2000):
+    sim = Simulator()
+    m = build_sp_machine(sim, 2)
+    if dropper is not None:
+        m.switch.fault_injector = dropper
+    tracer = Tracer(limit=tracer_limit).attach(m)
+    am0, am1 = attach_spam(m)
+    src = m.node(0).memory.alloc(nbytes)
+    dst = m.node(1).memory.alloc(nbytes)
+    flag = [0]
+
+    def sender():
+        tracer.mark(sim, 0, "store-begin")
+        yield from am0.store(1, src, dst, nbytes)
+        tracer.mark(sim, 0, "store-end")
+        flag[0] = 1
+
+    def receiver():
+        while not flag[0]:
+            yield from am1._wait_progress()
+
+    p = sim.spawn(sender())
+    q = sim.spawn(receiver())
+    sim.run_until_processes_done([p, q], limit=1e8)
+    return tracer
+
+
+class TestCollection:
+    def test_records_arrivals_on_both_nodes(self):
+        tracer = run_store()
+        # data packets at node 1, the chunk ack back at node 0
+        assert tracer.count(kind="rx", node=1) >= 9   # 2000 B = 9 packets
+        assert tracer.count(kind="rx", node=0) >= 1   # the ack
+
+    def test_marks_recorded_in_order(self):
+        tracer = run_store()
+        marks = tracer.filter(kind="mark")
+        assert [m.detail for m in marks] == ["store-begin", "store-end"]
+        assert marks[0].t < marks[1].t
+
+    def test_spans_measures_store_duration(self):
+        tracer = run_store()
+        spans = tracer.spans("store-begin", "store-end")
+        assert len(spans) == 1
+        assert 50.0 < spans[0] < 1000.0
+
+    def test_drop_events_recorded(self):
+        drops = {"n": 0}
+
+        def drop_first_data(pkt):
+            if pkt.kind == PacketKind.STORE_DATA and drops["n"] == 0:
+                drops["n"] += 1
+                return True
+            return False
+
+        tracer = run_store(dropper=drop_first_data)
+        assert tracer.count(kind="drop") == 1
+        assert "STORE_DATA" in tracer.first(kind="drop").detail
+
+    def test_limit_bounds_memory(self):
+        tracer = run_store(tracer_limit=5)
+        assert len(tracer) == 5
+        assert tracer.dropped_events > 0
+        assert "beyond limit" in tracer.render()
+
+
+class TestQuerying:
+    def test_filter_by_contains(self):
+        tracer = run_store()
+        acks = tracer.filter(kind="rx", contains="ACK")
+        assert acks and all("ACK" in e.detail for e in acks)
+
+    def test_first_returns_none_on_miss(self):
+        tracer = Tracer()
+        assert tracer.first(kind="rx") is None
+
+    def test_render_shows_timeline(self):
+        tracer = run_store()
+        text = tracer.render(last=3)
+        assert text.count("\n") == 2
+        assert "us" in text
+
+    def test_event_str(self):
+        e = TraceEvent(t=12.5, kind="tx", node=3, detail="hello")
+        assert "n3" in str(e) and "hello" in str(e)

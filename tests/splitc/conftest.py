@@ -1,0 +1,39 @@
+"""Fixtures: Split-C runtimes over every supported stack."""
+
+import pytest
+
+from repro.am import attach_generic_am, attach_spam
+from repro.hardware import build_generic_machine, build_sp_machine
+from repro.hardware.params import machine_params
+from repro.mpl import attach_mpl_am
+from repro.sim import Simulator
+from repro.splitc import attach_splitc
+
+
+def build_stack(stack: str, nprocs: int):
+    """(machine, [SplitC]) for 'sp-am', 'sp-mpl', 'cm5', 'meiko', 'unet'."""
+    sim = Simulator()
+    if stack == "sp-am":
+        m = build_sp_machine(sim, nprocs)
+        attach_spam(m)
+    elif stack == "sp-mpl":
+        m = build_sp_machine(sim, nprocs)
+        attach_mpl_am(m)
+    else:
+        m = build_generic_machine(sim, nprocs, machine_params(stack))
+        attach_generic_am(m)
+    return m, attach_splitc(m)
+
+
+def run_spmd(machine, make_prog, limit=1e9):
+    """Spawn make_prog(rank) on every node; wait for all."""
+    sim = machine.sim
+    procs = [sim.spawn(make_prog(r), name=f"sc{r}")
+             for r in range(machine.nprocs)]
+    sim.run_until_processes_done(procs, limit=limit)
+    return procs
+
+
+@pytest.fixture(params=["sp-am", "sp-mpl", "cm5"])
+def stack4(request):
+    return build_stack(request.param, 4)

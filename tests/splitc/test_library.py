@@ -1,0 +1,174 @@
+"""Split-C library surface: blocking bulk ops, doubles, collectives."""
+
+import pytest
+
+from repro.splitc import (
+    GlobalPtr,
+    all_gather_words,
+    all_reduce_to_all,
+    bulk_read,
+    bulk_write,
+    exchange,
+    read_double,
+    scan,
+    write_double,
+)
+from tests.splitc.conftest import build_stack, run_spmd
+
+
+class TestBlockingBulk:
+    def test_bulk_read(self):
+        m, rts = build_stack("sp-am", 2)
+        n = 3000
+        data = bytes(i % 256 for i in range(n))
+        remote = m.node(1).memory.alloc(n)
+        local = m.node(0).memory.alloc(n)
+        m.node(1).memory.write(remote, data)
+
+        def prog(rank):
+            def go():
+                if rank == 0:
+                    yield from bulk_read(rts[0], local, GlobalPtr(1, remote), n)
+                    assert m.node(0).memory.read(local, n) == data
+                yield from rts[rank].barrier()
+            return go()
+
+        run_spmd(m, prog)
+
+    def test_bulk_write(self):
+        m, rts = build_stack("sp-am", 2)
+        n = 2000
+        data = bytes((5 * i) % 256 for i in range(n))
+        local = m.node(0).memory.alloc(n)
+        remote = m.node(1).memory.alloc(n)
+        m.node(0).memory.write(local, data)
+
+        def prog(rank):
+            def go():
+                if rank == 0:
+                    yield from bulk_write(rts[0], GlobalPtr(1, remote),
+                                          local, n)
+                yield from rts[rank].barrier()
+            return go()
+
+        run_spmd(m, prog)
+        assert m.node(1).memory.read(remote, n) == data
+
+
+class TestDoubles:
+    @pytest.mark.parametrize("value", [0.0, 3.14159, -2.5e300, 1e-300])
+    def test_double_roundtrip(self, value):
+        m, rts = build_stack("sp-am", 2)
+        addr = m.node(1).memory.alloc(8)
+        out = []
+
+        def prog(rank):
+            def go():
+                if rank == 0:
+                    yield from write_double(rts[0], GlobalPtr(1, addr), value)
+                    v = yield from read_double(rts[0], GlobalPtr(1, addr))
+                    out.append(v)
+                yield from rts[rank].barrier()
+            return go()
+
+        run_spmd(m, prog)
+        assert out == [value]
+
+
+class TestExchange:
+    def test_pairwise_exchange(self):
+        m, rts = build_stack("sp-am", 2)
+        n = 4096
+        sends, recvs, datas = [], [], []
+        for r in range(2):
+            d = bytes([r * 3 + 1]) * n
+            s = m.node(r).memory.alloc(n)
+            v = m.node(r).memory.alloc(n)
+            m.node(r).memory.write(s, d)
+            sends.append(s), recvs.append(v), datas.append(d)
+
+        def prog(rank):
+            def go():
+                peer = 1 - rank
+                yield from exchange(rts[rank], peer, sends[rank],
+                                    GlobalPtr(peer, recvs[peer]), n, n)
+                yield from rts[rank].barrier()
+            return go()
+
+        run_spmd(m, prog)
+        assert m.node(0).memory.read(recvs[0], n) == datas[1]
+        assert m.node(1).memory.read(recvs[1], n) == datas[0]
+
+
+class TestLibraryCollectives:
+    @pytest.mark.parametrize("op,expect", [("sum", 1 + 2 + 3 + 4),
+                                           ("min", 1), ("max", 4)])
+    def test_all_reduce_to_all(self, op, expect):
+        m, rts = build_stack("sp-am", 4)
+        out = {}
+
+        def prog(rank):
+            def go():
+                v = yield from all_reduce_to_all(rts[rank], rank + 1, op)
+                out[rank] = v
+            return go()
+
+        run_spmd(m, prog)
+        assert all(v == expect for v in out.values())
+
+    def test_all_gather_words(self):
+        m, rts = build_stack("sp-am", 4)
+        out = {}
+
+        def prog(rank):
+            def go():
+                vec = yield from all_gather_words(rts[rank], rank * 10)
+                out[rank] = vec
+            return go()
+
+        run_spmd(m, prog)
+        for rank in range(4):
+            assert out[rank] == [0, 10, 20, 30]
+
+    def test_exclusive_scan_sum(self):
+        m, rts = build_stack("sp-am", 4)
+        out = {}
+
+        def prog(rank):
+            def go():
+                v = yield from scan(rts[rank], rank + 1, "sum")
+                out[rank] = v
+            return go()
+
+        run_spmd(m, prog)
+        assert out == {0: 0, 1: 1, 2: 3, 3: 6}
+
+    def test_repeated_collectives_stable(self):
+        """The lazy allgather region must be reusable across calls."""
+        m, rts = build_stack("sp-am", 3)
+        out = {r: [] for r in range(3)}
+
+        def prog(rank):
+            def go():
+                for it in range(3):
+                    v = yield from all_reduce_to_all(rts[rank],
+                                                     rank + it, "sum")
+                    out[rank].append(v)
+            return go()
+
+        run_spmd(m, prog)
+        for r in range(3):
+            assert out[r] == [3, 6, 9]
+
+    def test_over_mpl_stack_too(self):
+        m, rts = build_stack("sp-mpl", 2)
+        out = {}
+
+        def prog(rank):
+            def go():
+                v = yield from all_reduce_to_all(rts[rank], rank + 5, "sum")
+                out[rank] = v
+            return go()
+
+        run_spmd(m, prog)
+        assert all(v == 11 for v in out.values())

@@ -1,0 +1,280 @@
+"""Split-C runtime semantics over every stack (SP AM, AM-over-MPL, CM-5)."""
+
+import struct
+
+import pytest
+
+from repro.splitc import GlobalPtr
+from tests.splitc.conftest import build_stack, run_spmd
+
+
+class TestWordAccess:
+    def test_read_remote_word(self, stack4):
+        m, rts = stack4
+        addr = m.node(2).memory.alloc(8)
+        m.node(2).memory.write(addr, struct.pack("<q", 777))
+        out = []
+
+        def prog(rank):
+            def go():
+                if rank == 0:
+                    v = yield from rts[0].read_word(GlobalPtr(2, addr))
+                    out.append(v)
+                    yield from rts[0].barrier()
+                else:
+                    yield from rts[rank].barrier()
+            return go()
+
+        run_spmd(m, prog)
+        assert out == [777]
+
+    def test_write_remote_word(self, stack4):
+        m, rts = stack4
+        addr = m.node(3).memory.alloc(8)
+
+        def prog(rank):
+            def go():
+                if rank == 1:
+                    yield from rts[1].write_word(GlobalPtr(3, addr), -12345)
+                yield from rts[rank].barrier()
+            return go()
+
+        run_spmd(m, prog)
+        assert struct.unpack("<q", m.node(3).memory.read(addr, 8))[0] == -12345
+
+    def test_local_word_access_short_circuits(self):
+        m, rts = build_stack("sp-am", 2)
+        addr = m.node(0).memory.alloc(8)
+
+        def prog(rank):
+            def go():
+                if rank == 0:
+                    yield from rts[0].write_word(GlobalPtr(0, addr), 5)
+                    v = yield from rts[0].read_word(GlobalPtr(0, addr))
+                    assert v == 5
+                yield from rts[rank].barrier()
+            return go()
+
+        run_spmd(m, prog)
+
+
+class TestBulkOps:
+    def test_get_bulk_sync(self, stack4):
+        m, rts = stack4
+        n = 3000
+        data = bytes(i % 256 for i in range(n))
+        remote = m.node(1).memory.alloc(n)
+        local = m.node(0).memory.alloc(n)
+        m.node(1).memory.write(remote, data)
+
+        def prog(rank):
+            def go():
+                if rank == 0:
+                    yield from rts[0].get_bulk(local, GlobalPtr(1, remote), n)
+                    yield from rts[0].sync()
+                yield from rts[rank].barrier()
+            return go()
+
+        run_spmd(m, prog)
+        assert m.node(0).memory.read(local, n) == data
+
+    def test_put_bulk_sync(self, stack4):
+        m, rts = stack4
+        n = 2048
+        data = bytes((3 * i) % 256 for i in range(n))
+        local = m.node(0).memory.alloc(n)
+        remote = m.node(2).memory.alloc(n)
+        m.node(0).memory.write(local, data)
+
+        def prog(rank):
+            def go():
+                if rank == 0:
+                    yield from rts[0].put_bulk(GlobalPtr(2, remote), local, n)
+                    yield from rts[0].sync()
+                yield from rts[rank].barrier()
+            return go()
+
+        run_spmd(m, prog)
+        assert m.node(2).memory.read(remote, n) == data
+
+    def test_many_overlapping_gets(self):
+        m, rts = build_stack("sp-am", 2)
+        k, n = 10, 1000
+        remotes, locals_, datas = [], [], []
+        for i in range(k):
+            d = bytes((i + j) % 256 for j in range(n))
+            r = m.node(1).memory.alloc(n)
+            l = m.node(0).memory.alloc(n)
+            m.node(1).memory.write(r, d)
+            remotes.append(r), locals_.append(l), datas.append(d)
+
+        def prog(rank):
+            def go():
+                if rank == 0:
+                    for i in range(k):
+                        yield from rts[0].get_bulk(
+                            locals_[i], GlobalPtr(1, remotes[i]), n)
+                    yield from rts[0].sync()
+                yield from rts[rank].barrier()
+            return go()
+
+        run_spmd(m, prog)
+        for i in range(k):
+            assert m.node(0).memory.read(locals_[i], n) == datas[i]
+
+
+class TestStores:
+    def test_store_bulk_all_store_sync(self, stack4):
+        m, rts = stack4
+        nprocs = m.nprocs
+        n = 1500
+        # every rank stores its pattern to rank+1's slot array
+        slots = [node.memory.alloc(n * nprocs) for node in m.nodes]
+
+        def prog(rank):
+            def go():
+                rt = rts[rank]
+                data = bytes([rank + 1]) * n
+                src = m.node(rank).memory.alloc(n)
+                m.node(rank).memory.write(src, data)
+                dstproc = (rank + 1) % nprocs
+                gp = GlobalPtr(dstproc, slots[dstproc] + rank * n)
+                yield from rt.store_bulk(gp, src, n)
+                yield from rt.all_store_sync()
+            return go()
+
+        run_spmd(m, prog)
+        for rank in range(nprocs):
+            dstproc = (rank + 1) % nprocs
+            got = m.node(dstproc).memory.read(slots[dstproc] + rank * n, n)
+            assert got == bytes([rank + 1]) * n
+
+    def test_store_word_fine_grain(self):
+        m, rts = build_stack("sp-am", 2)
+        k = 50
+        arr = m.node(1).memory.alloc(8 * k)
+
+        def prog(rank):
+            def go():
+                rt = rts[rank]
+                if rank == 0:
+                    for i in range(k):
+                        yield from rt.store_word(GlobalPtr(1, arr + 8 * i), i * i)
+                yield from rt.all_store_sync()
+            return go()
+
+        run_spmd(m, prog)
+        vals = struct.unpack(f"<{k}q", m.node(1).memory.read(arr, 8 * k))
+        assert list(vals) == [i * i for i in range(k)]
+
+    def test_store_sync_local_expectation(self):
+        m, rts = build_stack("sp-am", 2)
+        n = 4000
+        dst = m.node(1).memory.alloc(n)
+        src = m.node(0).memory.alloc(n)
+        order = []
+
+        def prog(rank):
+            def go():
+                rt = rts[rank]
+                if rank == 0:
+                    yield from rt.store_bulk(GlobalPtr(1, dst), src, n)
+                    yield from rt.sync()
+                    order.append("sent")
+                else:
+                    yield from rt.store_sync(n)
+                    order.append("received")
+            return go()
+
+        run_spmd(m, prog)
+        assert sorted(order) == ["received", "sent"]
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("nprocs", [2, 4, 7])
+    def test_barrier_rendezvous(self, nprocs):
+        m, rts = build_stack("sp-am", nprocs)
+        times = {}
+
+        def prog(rank):
+            def go():
+                from repro.sim import Delay
+                yield Delay(100.0 * rank)  # skewed arrivals
+                yield from rts[rank].barrier()
+                times[rank] = m.sim.now
+            return go()
+
+        run_spmd(m, prog)
+        # nobody leaves the barrier before the last arrival
+        assert min(times.values()) >= 100.0 * (nprocs - 1)
+
+    def test_repeated_barriers_stay_aligned(self):
+        m, rts = build_stack("sp-am", 4)
+        log = []
+
+        def prog(rank):
+            def go():
+                for it in range(5):
+                    yield from rts[rank].barrier()
+                    log.append((it, rank))
+            return go()
+
+        run_spmd(m, prog)
+        # all ranks finish iteration k before any finishes k+1
+        for k in range(5):
+            chunk = log[4 * k: 4 * (k + 1)]
+            assert {it for it, _ in chunk} == {k}
+
+    def test_allreduce_int(self, stack4):
+        m, rts = stack4
+        results = {}
+
+        def prog(rank):
+            def go():
+                v = yield from rts[rank].allreduce_int((rank + 1) ** 2)
+                results[rank] = v
+            return go()
+
+        run_spmd(m, prog)
+        expected = sum((r + 1) ** 2 for r in range(m.nprocs))
+        assert all(v == expected for v in results.values())
+
+    def test_broadcast_int(self):
+        m, rts = build_stack("sp-am", 4)
+        results = {}
+
+        def prog(rank):
+            def go():
+                v = yield from rts[rank].broadcast_int(
+                    31337 if rank == 0 else None)
+                results[rank] = v
+            return go()
+
+        run_spmd(m, prog)
+        assert all(v == 31337 for v in results.values())
+
+
+class TestProfiler:
+    def test_cpu_net_split(self):
+        m, rts = build_stack("sp-am", 2)
+        n = 8064
+        dst = m.node(1).memory.alloc(n)
+        src = m.node(0).memory.alloc(n)
+
+        def prog(rank):
+            def go():
+                rt = rts[rank]
+                rt.profile.start()
+                if rank == 0:
+                    yield from rt.profile.compute(500.0)
+                    yield from rt.store_bulk(GlobalPtr(1, dst), src, n)
+                    yield from rt.sync()
+                yield from rt.barrier()
+                rt.profile.stop()
+            return go()
+
+        run_spmd(m, prog)
+        cpu, net, total = rts[0].profile.split()
+        assert cpu == pytest.approx(500.0)
+        assert net > 100.0  # the 8 KB store + barrier costs real time
+        assert total == pytest.approx(cpu + net)

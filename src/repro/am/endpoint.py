@@ -212,6 +212,21 @@ class SPAM:
             st = self._peers[dst] = _PeerState()
         return st
 
+    @property
+    def _obs(self):
+        """The machine's observability hub (None when unobserved)."""
+        return self.adapter.obs
+
+    def _note_occupancy(self, win: "SendWindow") -> None:
+        """Sample sliding-window occupancy into the observability layer
+        (histogram for percentile queries + a time series on this
+        endpoint's registry)."""
+        obs = self._obs
+        if obs is not None:
+            obs.hist("am.window_occupancy").observe(win.in_flight)
+            self.stats.series("window_occupancy").record(
+                self.sim.now, win.in_flight)
+
     def _request(self, dst: int, handler: Callable, args: Tuple[int, ...]):
         if self._in_handler:
             raise HandlerRestrictionError(
@@ -228,12 +243,15 @@ class SPAM:
         hid = self.handlers.register(handler)
         pkt = Packet(src=self.node.id, dst=dst, kind=PacketKind.REQUEST,
                      channel=REQUEST_CHANNEL, handler=hid, args=args)
+        if self._obs is not None:
+            self._obs.begin_message(pkt, self.sim.now)
         # build + flush the FIFO entry, then the length-array PIO
         yield from self.node.compute(
             c.req_fixed + c.per_word * (len(args) - 1)
             + flush_cost(pkt.wire_bytes, self.host) + self.host.mc_pio
         )
         seq = win.allocate(1)
+        self._note_occupancy(win)
         pkt.seq = seq
         self._stamp_acks(pkt, peer)
         self.adapter.host_stage(pkt)
@@ -247,6 +265,7 @@ class SPAM:
     def _send_reply(self, dst: int, handler: Callable, args: Tuple[int, ...]):
         """Reply path — runs inside a handler (driven by run_handler)."""
         c = self.costs
+        t_begin = self.sim.now
         hid = self.handlers.register(handler)
         yield from self.node.compute(
             c.rep_fixed + c.per_word * (len(args) - 1)
@@ -258,18 +277,25 @@ class SPAM:
             self._deferred_replies.append((dst, hid, args))
             self.stats.count("replies_deferred")
             return
-        yield from self._emit_reply(dst, hid, args)
+        yield from self._emit_reply(dst, hid, args, t_begin)
 
-    def _emit_reply(self, dst: int, hid: int, args: Tuple[int, ...]):
+    def _emit_reply(self, dst: int, hid: int, args: Tuple[int, ...],
+                    t_begin: Optional[float] = None):
         c = self.costs
         peer = self._peer(dst)
         win = peer.send[REPLY_CHANNEL]
         pkt = Packet(src=self.node.id, dst=dst, kind=PacketKind.REPLY,
                      channel=REPLY_CHANNEL, handler=hid, args=args)
+        if self._obs is not None:
+            # the reply's life starts when its handler began building it
+            # (deferred replies: when the draining poll emits them)
+            self._obs.begin_message(
+                pkt, self.sim.now if t_begin is None else t_begin)
         yield from self.node.compute(
             flush_cost(pkt.wire_bytes, self.host) + self.host.mc_pio
         )
         pkt.seq = win.allocate(1)
+        self._note_occupancy(win)
         self._stamp_acks(pkt, peer)
         self.adapter.host_stage(pkt)
         self.adapter.host_arm()
@@ -331,10 +357,13 @@ class SPAM:
                      channel=REQUEST_CHANNEL, handler=hid,
                      args=(remote_addr, arg), addr=local_addr,
                      total_len=nbytes, op_token=token)
+        if self._obs is not None:
+            self._obs.begin_message(pkt, self.sim.now)
         yield from self.node.compute(
             c.get_fixed + flush_cost(pkt.wire_bytes, self.host) + self.host.mc_pio
         )
         pkt.seq = win.allocate(1)
+        self._note_occupancy(win)
         self._stamp_acks(pkt, peer)
         self.adapter.host_stage(pkt)
         self.adapter.host_arm()
@@ -374,6 +403,7 @@ class SPAM:
         injection overlaps transmission on the wire."""
         c = self.costs
         seq = win.allocate(npk)
+        self._note_occupancy(win)
         kind = (PacketKind.STORE_DATA if op.channel == REQUEST_CHANNEL
                 else PacketKind.GET_DATA)
         packets: List[Packet] = []
@@ -498,11 +528,18 @@ class SPAM:
     def _dispatch(self, pkt: Packet):
         fn = self.handlers.lookup(pkt.handler)
         token = ReplyToken(self, pkt.src)
+        obs = self._obs
+        t0 = self.sim.now
+        if obs is not None:
+            obs.mark_packet(pkt, "handler_start", t0)
         self._in_handler = True
         try:
             yield from run_handler(fn, token, *pkt.args)
         finally:
             self._in_handler = False
+        if obs is not None:
+            obs.mark_packet(pkt, "handler_end", self.sim.now)
+            obs.hist("am.handler_us").observe(self.sim.now - t0)
         self.stats.count("handlers_run")
 
     def _process_bulk(self, pkt: Packet):
@@ -543,12 +580,19 @@ class SPAM:
             if st.handler >= 0:
                 fn = self.handlers.lookup(st.handler)
                 token = ReplyToken(self, st.src)
+                obs = self._obs
+                t0 = self.sim.now
+                if obs is not None:
+                    obs.mark_packet(pkt, "handler_start", t0)
                 self._in_handler = True
                 try:
                     yield from run_handler(fn, token, st.addr, st.total_len,
                                            *st.handler_args)
                 finally:
                     self._in_handler = False
+                if obs is not None:
+                    obs.mark_packet(pkt, "handler_end", self.sim.now)
+                    obs.hist("am.handler_us").observe(self.sim.now - t0)
             self.stats.count("bulk_recv_completed")
 
     def _process_get_request(self, pkt: Packet):

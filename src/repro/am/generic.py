@@ -30,10 +30,11 @@ class _Fragment:
 
     __slots__ = ("src", "dst", "kind", "handler", "args", "payload", "addr",
                  "offset", "total_len", "op_token", "wire_bytes", "seq",
-                 "ack_req", "ack_rep", "channel", "chunk_packets")
+                 "ack_req", "ack_rep", "channel", "chunk_packets", "trace_id")
 
     def __init__(self, src, dst, kind, handler, args, payload, addr,
                  offset, total_len, op_token):
+        self.trace_id = 0
         self.src = src
         self.dst = dst
         self.kind = kind  # "store", "get_data"
@@ -49,10 +50,11 @@ class _Fragment:
 
 class _Request:
     __slots__ = ("src", "dst", "kind", "handler", "args", "addr",
-                 "total_len", "op_token", "wire_bytes")
+                 "total_len", "op_token", "wire_bytes", "trace_id")
 
     def __init__(self, src, dst, kind, handler, args, addr=0,
                  total_len=0, op_token=0, nwords=1):
+        self.trace_id = 0
         self.src = src
         self.dst = dst
         self.kind = kind  # "request", "reply", "get_request"
@@ -163,17 +165,23 @@ class GenericAM:
         if self._in_handler:
             raise HandlerRestrictionError("handlers may not issue requests")
         hid = self.handlers.register(handler)
+        msg = _Request(self.node.id, dst, "request", hid, args,
+                       nwords=len(args))
+        if self.nic.obs is not None:
+            self.nic.obs.begin_message(msg, self.sim.now)
         yield from self.node.compute(self.params.o_send)
-        self.nic.host_send(_Request(self.node.id, dst, "request", hid, args,
-                                    nwords=len(args)))
+        self.nic.host_send(msg)
         self.stats.count("requests_sent")
         yield from self.poll()
 
     def _send_reply(self, dst, handler, args):
         hid = self.handlers.register(handler)
+        msg = _Request(self.node.id, dst, "reply", hid, args,
+                       nwords=len(args))
+        if self.nic.obs is not None:
+            self.nic.obs.begin_message(msg, self.sim.now)
         yield from self.node.compute(self.params.o_send)
-        self.nic.host_send(_Request(self.node.id, dst, "reply", hid, args,
-                                    nwords=len(args)))
+        self.nic.host_send(msg)
         self.stats.count("replies_sent")
 
     # -- bulk ------------------------------------------------------------
@@ -277,11 +285,18 @@ class GenericAM:
             if msg.kind in ("request", "reply"):
                 fn = self.handlers.lookup(msg.handler)
                 token = GenericReplyToken(self, msg.src)
+                obs = self.nic.obs
+                t0 = self.sim.now
+                if obs is not None:
+                    obs.mark_packet(msg, "handler_start", t0)
                 self._in_handler = True
                 try:
                     yield from run_handler(fn, token, *msg.args)
                 finally:
                     self._in_handler = False
+                if obs is not None:
+                    obs.mark_packet(msg, "handler_end", self.sim.now)
+                    obs.hist("am.handler_us").observe(self.sim.now - t0)
                 self.stats.count("handlers_run")
             elif msg.kind == "get_request":
                 data = self.node.memory.read(msg.args[0], msg.total_len)

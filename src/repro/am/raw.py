@@ -28,6 +28,8 @@ RAW_CONSUME = 2.67
 
 def _raw_send(node, dst: int):
     pkt = Packet(src=node.id, dst=dst, kind=PacketKind.RAW)
+    if node.adapter.obs is not None:
+        node.adapter.obs.begin_message(pkt, node.sim.now)
     yield from node.compute(
         RAW_BUILD + flush_cost(pkt.wire_bytes, node.host) + node.host.mc_pio
     )

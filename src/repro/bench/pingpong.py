@@ -29,6 +29,7 @@ def _am_pingpong(machine, words: int, iterations: int) -> float:
     ams = [machine.node(i).am for i in range(2)]
     am0, am1 = ams
     sim = machine.sim
+    obs = machine.obs
     got = [0]
     args = tuple(range(words))
 
@@ -41,11 +42,14 @@ def _am_pingpong(machine, words: int, iterations: int) -> float:
     def pinger():
         for _ in range(iterations):
             before = got[0]
+            t_iter = sim.now
             yield from getattr(am0, f"request_{words}")(
                 1, request_handler, *args
             )
             while got[0] == before:
                 yield from am0._wait_progress()
+            if obs is not None:
+                obs.hist("am.rtt_us").observe(sim.now - t_iter)
 
     def ponger():
         while got[0] < iterations:
@@ -67,6 +71,65 @@ def am_roundtrip(words: int = 1, iterations: int = 200,
     machine = build_machine(sim, 2, machine_name)
     attach_am(machine)
     return _am_pingpong(machine, words, iterations)
+
+
+def am_roundtrip_observed(words: int = 1, iterations: int = 200,
+                          machine_name: str = "sp-thin"):
+    """Like :func:`am_roundtrip` but with an Observatory attached.
+
+    Returns ``(mean_rtt_us, obs)`` — the observatory holds one message
+    span per packet (with the full stage breakdown), the ``am.rtt_us``
+    round-trip histogram, handler-time and occupancy histograms, and the
+    merged counters of every layer, ready for the exporters.
+    """
+    from repro.obs import Observatory
+
+    if not 1 <= words <= 4:
+        raise ValueError("AM carries 1..4 word arguments")
+    sim = Simulator()
+    machine = build_machine(sim, 2, machine_name)
+    Observatory().attach(machine)
+    attach_am(machine)
+    mean = _am_pingpong(machine, words, iterations)
+    return mean, machine.obs
+
+
+def stage_attribution(obs) -> dict:
+    """Reconstruct the round trip from span marks (§2.3 / Table 2 style).
+
+    One ping-pong iteration is one REQUEST span plus one REPLY span; the
+    reply's ``begin`` falls inside the request handler, so
+
+        mean(REQUEST begin->handler_start) + mean(REPLY begin->handler_end)
+
+    tiles the round trip up to a sub-microsecond residual (the final
+    poll-loop check).  Returns per-kind, per-stage mean durations, the two
+    half-trip means, and their sum for comparison against the measured
+    mean RTT.
+    """
+    out = {"stages": {}, "half_us": {}}
+    total = 0.0
+    for kind, end_mark in (("REQUEST", "handler_start"),
+                           ("REPLY", "handler_end")):
+        spans = obs.spans_by_kind(kind)
+        sums: dict = {}
+        counts: dict = {}
+        halves = []
+        for s in spans:
+            for stage, dur in s.stage_durations().items():
+                sums[stage] = sums.get(stage, 0.0) + dur
+                counts[stage] = counts.get(stage, 0) + 1
+            b, e = s.marks.get("begin"), s.marks.get(end_mark)
+            if b is not None and e is not None:
+                halves.append(e - b)
+        out["stages"][kind] = {
+            stage: sums[stage] / counts[stage] for stage in sums
+        }
+        half = sum(halves) / len(halves) if halves else 0.0
+        out["half_us"][kind] = half
+        total += half
+    out["stage_sum_us"] = total
+    return out
 
 
 def machine_roundtrip(machine_name: str, iterations: int = 200) -> float:

@@ -4,10 +4,18 @@ Usage::
 
     spam-bench list                     # what can be run
     spam-bench roundtrip                # §2.3 latencies
+        [--iters N] [--stats] [--trace-out FILE [--trace-format jsonl]]
+        [--report-dir DIR | --no-report]
     spam-bench table2|table3|table4|table6
     spam-bench fig3|fig7|fig8|fig9|fig10|fig11
     spam-bench table5 [--keys 2048]
     spam-bench nas [BT|FT|LU|MG|SP] [--variant mpi-am|mpi-f]
+    spam-bench inspect FILE...          # validate + summarize traces/reports
+
+Table-style experiments also leave a machine-readable
+``BENCH_<experiment>.json`` report next to the ASCII table (suppress with
+``--no-report``); ``roundtrip --trace-out`` dumps the full message-span
+trace in Chrome trace-event or JSONL form (see docs/observability.md).
 
 Everything is also runnable through pytest (``pytest benchmarks/``); this
 driver is for quick interactive looks at single experiments.
@@ -21,17 +29,65 @@ import sys
 from repro.bench.report import fmt_series, fmt_table, paper_vs_measured
 
 
-def cmd_roundtrip(_args) -> None:
-    from repro.bench.pingpong import am_roundtrip, mpl_roundtrip, raw_roundtrip
+def _write_report(args, experiment, entries, obs=None, extra=None) -> None:
+    if getattr(args, "no_report", True):
+        return
+    from repro.bench.benchjson import make_report, write_report
 
-    print(paper_vs_measured(
-        "S2.3 round-trip latency (us)",
-        [("raw ping-pong", 47.0, raw_roundtrip(100)),
-         ("SP AM one word", 51.0, am_roundtrip(1, 100)),
-         ("IBM MPL", 88.0, mpl_roundtrip(100))]))
+    report = make_report(experiment, entries, obs=obs, extra=extra)
+    try:
+        path = write_report(report, getattr(args, "report_dir", "."))
+    except OSError as e:
+        raise SystemExit(f"spam-bench: cannot write report: {e}")
+    print(f"report: {path}")
 
 
-def cmd_table2(_args) -> None:
+def cmd_roundtrip(args) -> None:
+    from repro.bench.pingpong import (
+        am_roundtrip_observed,
+        mpl_roundtrip,
+        raw_roundtrip,
+        stage_attribution,
+    )
+
+    iters = getattr(args, "iters", 100)
+    am_mean, obs = am_roundtrip_observed(1, iters)
+    entries = [("raw ping-pong", 47.0, raw_roundtrip(iters)),
+               ("SP AM one word", 51.0, am_mean),
+               ("IBM MPL", 88.0, mpl_roundtrip(iters))]
+    print(paper_vs_measured("S2.3 round-trip latency (us)", entries))
+    att = stage_attribution(obs)
+    if getattr(args, "stats", False):
+        rows = []
+        for kind in ("REQUEST", "REPLY"):
+            for stage, mean in att["stages"].get(kind, {}).items():
+                rows.append((kind.lower(), stage, round(mean, 2)))
+        rows.append(("sum", "request+reply", round(att["stage_sum_us"], 2)))
+        rows.append(("measured", "mean rtt", round(am_mean, 2)))
+        print(fmt_table("AM stage attribution (us)",
+                        ["kind", "stage", "mean"], rows))
+        print(fmt_table("am.rtt_us histogram",
+                        ["stat", "value"],
+                        [(k, round(v, 2)) for k, v in
+                         obs.hist("am.rtt_us").snapshot().items()]))
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from repro.obs import write_chrome_trace, write_jsonl
+
+        fmt = getattr(args, "trace_format", "chrome")
+        try:
+            if fmt == "jsonl":
+                write_jsonl(obs, trace_out)
+            else:
+                write_chrome_trace(obs, trace_out)
+        except OSError as e:
+            raise SystemExit(f"spam-bench: cannot write trace: {e}")
+        print(f"trace: {trace_out} ({fmt})")
+    _write_report(args, "roundtrip", entries, obs=obs,
+                  extra={"iterations": iters, "stage_attribution": att})
+
+
+def cmd_table2(args) -> None:
     from repro.bench.callcosts import (
         PAPER_REPLY,
         PAPER_REQUEST,
@@ -40,42 +96,50 @@ def cmd_table2(_args) -> None:
     )
 
     rows = []
+    entries = []
     for n in (1, 2, 3, 4):
-        rows.append((f"am_request_{n}", PAPER_REQUEST[n],
-                     round(request_call_cost(n), 2)))
-        rows.append((f"am_reply_{n}", PAPER_REPLY[n],
-                     round(reply_call_cost(n), 2)))
+        for name, paper, measured in (
+            (f"am_request_{n}", PAPER_REQUEST[n], request_call_cost(n)),
+            (f"am_reply_{n}", PAPER_REPLY[n], reply_call_cost(n)),
+        ):
+            rows.append((name, paper, round(measured, 2)))
+            entries.append((name, paper, measured))
     print(fmt_table("Table 2: AM call costs (us)",
                     ["call", "paper", "measured"], rows))
+    _write_report(args, "table2", entries)
 
 
-def cmd_table3(_args) -> None:
+def cmd_table3(args) -> None:
     from repro.bench.bandwidth import n_half, r_inf, sweep
     from repro.bench.pingpong import am_roundtrip, mpl_roundtrip
 
     sizes = [128, 256, 512, 1024, 4096, 16384, 262144, 1048576]
     am = sweep("am_store_async", sizes)
     mpl = sweep("mpl_send", sizes)
-    print(paper_vs_measured(
-        "Table 3: SP AM vs IBM MPL",
-        [("AM round trip (us)", 51.0, am_roundtrip(1, 100)),
-         ("MPL round trip (us)", 88.0, mpl_roundtrip(100)),
-         ("AM r_inf (MB/s)", 34.3, r_inf(am)),
-         ("MPL r_inf (MB/s)", 34.6, r_inf(mpl)),
-         ("AM n1/2 async (B)", 260, n_half(am, 34.3)),
-         ("MPL n1/2 async (B)", 2040, n_half(mpl, 34.6))]))
+    entries = [("AM round trip (us)", 51.0, am_roundtrip(1, 100)),
+               ("MPL round trip (us)", 88.0, mpl_roundtrip(100)),
+               ("AM r_inf (MB/s)", 34.3, r_inf(am)),
+               ("MPL r_inf (MB/s)", 34.6, r_inf(mpl)),
+               ("AM n1/2 async (B)", 260, n_half(am, 34.3)),
+               ("MPL n1/2 async (B)", 2040, n_half(mpl, 34.6))]
+    print(paper_vs_measured("Table 3: SP AM vs IBM MPL", entries))
+    _write_report(args, "table3", entries)
 
 
-def cmd_table4(_args) -> None:
+def cmd_table4(args) -> None:
     from repro.bench.machines import TABLE4_PAPER, table4_rows
 
     rows = []
+    entries = []
     for r in table4_rows():
         p = TABLE4_PAPER[r.name]
         rows.append((p["label"], p["rtt"], round(r.rtt_us, 1),
                      p["bw"], round(r.bandwidth_mbs, 1)))
+        entries.append((f"{p['label']} rtt (us)", p["rtt"], r.rtt_us))
+        entries.append((f"{p['label']} bw (MB/s)", p["bw"], r.bandwidth_mbs))
     print(fmt_table("Table 4 (paper/measured)",
                     ["machine", "rtt(p)", "rtt(m)", "bw(p)", "bw(m)"], rows))
+    _write_report(args, "table4", entries)
 
 
 def cmd_fig3(_args) -> None:
@@ -158,25 +222,135 @@ def cmd_nas(args) -> None:
                     ["bench", "MPI-F", "MPI-AM", "ratio", "ok"], rows))
 
 
+def _inspect_chrome(path: str) -> None:
+    import json
+
+    from repro.obs.hist import Histogram
+
+    with open(path) as f:
+        obj = json.load(f)
+    hists = {}
+    for ev in obj["traceEvents"]:
+        if ev.get("ph") != "X":
+            continue
+        h = hists.get(ev["name"])
+        if h is None:
+            h = hists[ev["name"]] = Histogram(ev["name"])
+        h.observe(ev["dur"])
+    rows = [(name, h.count, round(h.mean(), 2),
+             round(h.percentile(95), 2), round(h.max(), 2))
+            for name, h in sorted(hists.items())]
+    print(fmt_table("trace events (dur, us)",
+                    ["event", "count", "mean", "p95", "max"], rows))
+
+
+def _inspect_jsonl(path: str) -> None:
+    from repro.obs import read_jsonl
+    from repro.obs.hist import Histogram
+
+    meta, spans = read_jsonl(path)
+    print(f"  {len(spans)} spans, {len(meta['phases'])} phase spans, "
+          f"{meta.get('dropped_spans', 0)} dropped")
+    hists = {}
+    for s in spans:
+        for stage, dur in s.stage_durations().items():
+            key = f"{stage}:{s.kind}"
+            h = hists.get(key)
+            if h is None:
+                h = hists[key] = Histogram(key)
+            h.observe(dur)
+    rows = [(name, h.count, round(h.mean(), 2),
+             round(h.percentile(95), 2), round(h.max(), 2))
+            for name, h in sorted(hists.items())]
+    print(fmt_table("span stages (us)",
+                    ["stage", "count", "mean", "p95", "max"], rows))
+
+
+def _inspect_report(path: str) -> None:
+    import json
+
+    with open(path) as f:
+        obj = json.load(f)
+    rows = [(r["name"],
+             "-" if r.get("paper") is None else r["paper"],
+             r["measured"],
+             "-" if r.get("dev_pct") is None else f"{r['dev_pct']}%")
+            for r in obj["results"]]
+    print(fmt_table(f"{obj['experiment']} ({obj.get('generated', '?')})",
+                    ["name", "paper", "measured", "dev"], rows))
+
+
+def cmd_inspect(args) -> int:
+    from repro.obs.schema import sniff_and_validate
+
+    failures = 0
+    for path in args.files:
+        try:
+            res = sniff_and_validate(path)
+        except OSError as e:
+            print(f"{path}: [FAIL] {e}")
+            failures += 1
+            continue
+        ok = not res["problems"]
+        print(f"{path}: {res['format']} [{'OK' if ok else 'FAIL'}]")
+        for problem in res["problems"]:
+            print(f"  - {problem}")
+        if not ok:
+            failures += 1
+            continue
+        {"chrome-trace": _inspect_chrome,
+         "jsonl": _inspect_jsonl,
+         "bench-report": _inspect_report}[res["format"]](path)
+    return 1 if failures else 0
+
+
+def _positive_int(s: str) -> int:
+    v = int(s)
+    if v < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return v
+
+
+def _add_report_opts(p) -> None:
+    p.add_argument("--report-dir", default=".", metavar="DIR",
+                   help="where to write BENCH_<experiment>.json")
+    p.add_argument("--no-report", action="store_true",
+                   help="skip the JSON report")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="spam-bench",
         description="Reproduction experiments for 'Low-Latency "
                     "Communication on the IBM RISC System/6000 SP'")
     sub = parser.add_subparsers(dest="cmd")
-    for name in ("list", "roundtrip", "table2", "table3", "table4",
-                 "fig3", "fig7", "fig8", "fig9", "fig10", "fig11"):
+    for name in ("list", "fig3", "fig7", "fig8", "fig9", "fig10", "fig11"):
         sub.add_parser(name)
+    pr = sub.add_parser("roundtrip")
+    pr.add_argument("--iters", type=_positive_int, default=100)
+    pr.add_argument("--stats", action="store_true",
+                    help="print stage attribution + rtt histogram")
+    pr.add_argument("--trace-out", metavar="FILE", default=None,
+                    help="dump the AM ping-pong message trace")
+    pr.add_argument("--trace-format", choices=("chrome", "jsonl"),
+                    default="chrome")
+    _add_report_opts(pr)
+    for name in ("table2", "table3", "table4"):
+        _add_report_opts(sub.add_parser(name))
     p5 = sub.add_parser("table5")
     p5.add_argument("--keys", type=int, default=2048)
-    p6 = sub.add_parser("table6")
+    sub.add_parser("table6")
     pn = sub.add_parser("nas")
     pn.add_argument("kernel", nargs="?", default=None)
+    pi = sub.add_parser("inspect")
+    pi.add_argument("files", nargs="+", metavar="FILE")
     args = parser.parse_args(argv)
 
     if args.cmd in (None, "list"):
         parser.print_help()
         return 0
+    if args.cmd == "inspect":
+        return cmd_inspect(args)
     dispatch = {
         "roundtrip": cmd_roundtrip,
         "table2": cmd_table2,

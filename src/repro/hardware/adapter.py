@@ -54,6 +54,8 @@ class TB2Adapter:
         )
         self.switch = None  # set by Machine
         self.stats = StatRegistry(f"tb2[{node_id}].")
+        #: observability hub (set by Observatory.attach; None = untraced)
+        self.obs = None
         # TX service bookkeeping
         self._tx_free = 0.0
         self._tx_scheduled = False
@@ -62,6 +64,9 @@ class TB2Adapter:
         #: callbacks run (at packet-visible time) on every delivery; the AM
         #: layer uses this to wake blocked processes instead of spin-polling
         self._arrival_listeners: List[Callable[[Packet], None]] = []
+        #: callbacks run as each packet leaves the adapter, with the wire-
+        #: exit time (tracing: ``tx`` events)
+        self._departure_listeners: List[Callable[[Packet, float], None]] = []
         self._arrival_event: Optional[Event] = None
 
     # ------------------------------------------------------------------
@@ -76,6 +81,8 @@ class TB2Adapter:
         """Write one packet into the next send-FIFO entry."""
         self.send_fifo.stage(packet)
         self.stats.count("tx_staged")
+        if self.obs is not None:
+            self.obs.packet_staged(packet, self.sim.now)
 
     def host_arm(self, count: Optional[int] = None) -> int:
         """Store length(s) into the packet length array — one MicroChannel
@@ -93,7 +100,10 @@ class TB2Adapter:
     def host_recv_consume(self) -> Packet:
         """Read the head packet out of the receive queue (host copy cost is
         charged by the poller)."""
-        return self.recv_fifo.consume()
+        pkt = self.recv_fifo.consume()
+        if self.obs is not None:
+            self.obs.mark_packet(pkt, "consume", self.sim.now)
+        return pkt
 
     def host_recv_should_pop(self) -> bool:
         """Whether enough entries are consumed to justify a pop PIO."""
@@ -112,6 +122,12 @@ class TB2Adapter:
     def add_arrival_listener(self, fn: Callable[[Packet], None]) -> None:
         """Run ``fn(packet)`` at every delivery (tracing/wakeups)."""
         self._arrival_listeners.append(fn)
+
+    def add_departure_listener(
+        self, fn: Callable[[Packet, float], None]
+    ) -> None:
+        """Run ``fn(packet, wire_exit_time)`` as each packet leaves."""
+        self._departure_listeners.append(fn)
 
     def arrival_event(self) -> Event:
         """A one-shot event that fires at the next packet delivery.
@@ -142,6 +158,13 @@ class TB2Adapter:
         self._tx_free = start + occupancy
         self.stats.count("tx_packets")
         self.stats.count("tx_bytes", pkt.wire_bytes)
+        if self.obs is not None:
+            span = self.obs.mark_packet(pkt, "dma_start", start)
+            if span is not None and "wire_exit" in span.marks:
+                span.retransmits += 1  # go-back-N re-entering the TX path
+            self.obs.mark_packet(pkt, "wire_exit", start + latency)
+        for fn in self._departure_listeners:
+            fn(pkt, start + latency)
         self.switch.inject(pkt, start + latency)
         if self.send_fifo.armed_count > 0:
             delay = max(0.0, self._tx_free - self.sim.now)
@@ -159,6 +182,8 @@ class TB2Adapter:
             # Input-buffer overflow: the packet is lost; §2.2's sequence
             # numbers + NACK machinery must recover it.
             self.stats.count("rx_dropped_overflow")
+            if self.obs is not None:
+                self.obs.packet_dropped(packet)
             return
         p = self.params
         dma = packet.wire_bytes / p.mc_dma_rate
@@ -166,6 +191,8 @@ class TB2Adapter:
         self._rx_free = start + max(dma, p.i860_rx_occupancy)
         visible_at = start + dma + p.i860_rx_latency
         self.stats.count("rx_packets")
+        if self.obs is not None:
+            self.obs.mark_packet(packet, "visible", visible_at)
         self.sim.at(visible_at, self._deliver, packet)
 
     def _deliver(self, packet: Packet) -> None:

@@ -61,8 +61,11 @@ class GenericNIC:
         self._tx_free = 0.0
         self._rx_queue: Deque[Packet] = deque()
         self._arrival_listeners: List[Callable[[Packet], None]] = []
+        self._departure_listeners: List[Callable[[Packet, float], None]] = []
         self._arrival_event: Optional[Event] = None
         self.stats = StatRegistry(f"nic[{node_id}].")
+        #: observability hub (set by Observatory.attach; None = untraced)
+        self.obs = None
 
     # -- host-facing -------------------------------------------------------
 
@@ -81,7 +84,17 @@ class GenericNIC:
         self._tx_free = start + wire
         self.stats.count("tx_packets")
         self.stats.count("tx_bytes", packet.wire_bytes)
-        self.fabric.deliver(packet, start + wire + self.params.latency)
+        arrive_at = start + wire + self.params.latency
+        if self.obs is not None:
+            self.obs.packet_staged(packet, self.sim.now)
+            self.obs.mark_packet(packet, "wire_exit", start + wire)
+            # the LogP fabric has no separate switch stage: deliver time
+            # doubles as the switch hand-off
+            self.obs.mark_packet(packet, "sw_deliver", arrive_at)
+            self.obs.mark_packet(packet, "visible", arrive_at)
+        for fn in self._departure_listeners:
+            fn(packet, start + wire)
+        self.fabric.deliver(packet, arrive_at)
 
     def host_recv_peek(self) -> Optional[Packet]:
         """Head of the receive queue without consuming it."""
@@ -89,7 +102,10 @@ class GenericNIC:
 
     def host_recv_consume(self) -> Packet:
         """Pop the head of the receive queue."""
-        return self._rx_queue.popleft()
+        pkt = self._rx_queue.popleft()
+        if self.obs is not None:
+            self.obs.mark_packet(pkt, "consume", self.sim.now)
+        return pkt
 
     def host_recv_available(self) -> int:
         """Messages awaiting the host."""
@@ -98,6 +114,12 @@ class GenericNIC:
     def add_arrival_listener(self, fn: Callable[[Packet], None]) -> None:
         """Run ``fn(msg)`` at every delivery."""
         self._arrival_listeners.append(fn)
+
+    def add_departure_listener(
+        self, fn: Callable[[Packet, float], None]
+    ) -> None:
+        """Run ``fn(msg, wire_exit_time)`` as each message leaves."""
+        self._departure_listeners.append(fn)
 
     def arrival_event(self) -> Event:
         """One-shot event firing at the next delivery."""

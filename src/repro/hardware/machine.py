@@ -35,6 +35,8 @@ class Machine:
         self.nodes = nodes
         self.switch = switch
         self.fabric = fabric
+        #: observability hub (set by Observatory.attach; None = untraced)
+        self.obs = None
 
     @property
     def nprocs(self) -> int:

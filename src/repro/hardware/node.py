@@ -117,6 +117,8 @@ class Node:
         self.host: HostParams = machine_params.host
         self.memory = Memory()
         self.stats = StatRegistry(f"node[{node_id}].")
+        #: observability hub (set by Observatory.attach; None = untraced)
+        self.obs = None
         #: the TB2 adapter (SP machines) or GenericNIC (peer machines)
         self.adapter: Optional[Any] = None
         self.nic: Optional[Any] = None

@@ -88,6 +88,11 @@ class Packet:
     #: framing (30 bytes) is what gives it the marginally higher 34.6 MB/s
     #: asymptote of Table 3
     header_bytes: int = PACKET_HEADER_BYTES
+    #: observability correlation id (0 = untracked); assigned once by the
+    #: :class:`~repro.obs.core.Observatory` and carried end-to-end so every
+    #: layer's marks land on the same message-lifecycle span.  Not a wire
+    #: field: contributes nothing to ``wire_bytes``.
+    trace_id: int = 0
 
     def __post_init__(self) -> None:
         if len(self.payload) > PACKET_PAYLOAD_BYTES:

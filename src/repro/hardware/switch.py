@@ -32,6 +32,8 @@ class Switch:
         #: when each destination's output link next frees up
         self._dest_link_free: Dict[int, float] = {}
         self.stats = StatRegistry("switch.")
+        #: observability hub (set by Observatory.attach; None = untraced)
+        self.obs = None
         #: optional hook: return True to drop this packet in the fabric
         self.fault_injector: Optional[Callable[[Packet], bool]] = None
 
@@ -55,6 +57,8 @@ class Switch:
         self.stats.count("packets_routed")
         if self.fault_injector is not None and self.fault_injector(packet):
             self.stats.count("packets_dropped_fault")
+            if self.obs is not None:
+                self.obs.packet_dropped(packet)
             return
         p = self.params
         wire_time = packet.wire_bytes / p.link_rate
@@ -64,6 +68,11 @@ class Switch:
             self.stats.count("dest_link_queued")
         self._dest_link_free[packet.dst] = start + wire_time
         deliver_at = start + p.latency
+        if self.obs is not None:
+            self.obs.hist("switch.queue_us").observe(queueing)
+            span = self.obs.mark_packet(packet, "sw_deliver", deliver_at)
+            if span is not None:
+                span.queued_us += queueing
         self.sim.at(deliver_at, self._adapters[packet.dst].on_wire_arrival, packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

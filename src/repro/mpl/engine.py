@@ -97,6 +97,8 @@ class MPLEngine:
                 args=(tag, msg_id), payload=payload, offset=off,
                 total_len=len(data), header_bytes=MPL_HEADER_BYTES,
             )
+            if self.adapter.obs is not None:
+                self.adapter.obs.begin_message(pkt, self.sim.now)
             yield from self.node.compute(
                 c.per_packet + flush_cost(pkt.wire_bytes, self.host)
             )

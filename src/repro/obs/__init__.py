@@ -1,0 +1,59 @@
+"""Unified observability: message-lifecycle spans, histograms, exporters.
+
+Every layer of the stack — TB2 adapter, switch, generic NIC, AM, MPL,
+Split-C's profiler — reports into one :class:`Observatory`:
+
+* **spans** follow a single packet end-to-end (injection → MicroChannel
+  DMA → send FIFO → switch → receive FIFO → handler), correlated by the
+  ``trace_id`` carried on :class:`~repro.hardware.packet.Packet`, with
+  per-stage latency attribution that reconstructs the paper's Table 2 /
+  §2.3 breakdowns from a live run;
+* **histograms** answer p50/p95/p99/max queries for round-trip latency,
+  handler run time, window occupancy, and switch queueing;
+* **exporters** emit Chrome trace-event JSON (open in Perfetto), JSONL
+  span dumps (lossless round trip), and counter/histogram snapshots.
+
+Usage::
+
+    obs = Observatory().attach(machine)     # before running the workload
+    ... run ...
+    write_chrome_trace(obs, "trace.json")
+    obs.hist("am.rtt_us").percentile(99)
+
+See ``docs/observability.md`` for the span model and formats.
+"""
+
+from repro.obs.core import Observatory
+from repro.obs.events import EventLog, TraceEvent
+from repro.obs.export import (
+    chrome_trace,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.hist import Histogram, percentile
+from repro.obs.schema import (
+    validate_bench_report,
+    validate_chrome_trace,
+    validate_jsonl_trace,
+)
+from repro.obs.span import STAGE_NAMES, STAGES, MessageSpan, span_from_dict
+
+__all__ = [
+    "Observatory",
+    "EventLog",
+    "TraceEvent",
+    "Histogram",
+    "percentile",
+    "MessageSpan",
+    "span_from_dict",
+    "STAGES",
+    "STAGE_NAMES",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "read_jsonl",
+    "validate_chrome_trace",
+    "validate_jsonl_trace",
+    "validate_bench_report",
+]

@@ -1,0 +1,197 @@
+"""The :class:`Observatory`: one hub every layer reports into.
+
+``Observatory().attach(machine)`` walks the machine and plants itself on
+every device, node, and the switch; from then on the hardware models
+deposit span marks, the software layers record handler/occupancy
+histograms, and the Split-C profiler contributes phase spans — all into
+one object that the exporters (:mod:`repro.obs.export`) and the bench
+harness read back out.
+
+The hub deliberately imports nothing from ``repro.sim`` or
+``repro.hardware``: components reference *it* (via their ``obs``
+attribute, ``None`` when unobserved), never the other way around, so an
+uninstrumented run pays only a ``None`` check per hook.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.hist import Histogram
+from repro.obs.span import STAGES, MessageSpan
+
+
+class Observatory:
+    """Collects message spans, histograms, phase spans, and stat registries."""
+
+    def __init__(self, span_limit: int = 200_000):
+        #: trace_id -> span, in creation order
+        self.spans: Dict[int, MessageSpan] = {}
+        self.span_limit = span_limit
+        self.dropped_spans = 0
+        self.histograms: Dict[str, Histogram] = {}
+        #: (node, track, name, t0, t1) — e.g. Split-C compute phases
+        self.phase_spans: List[Tuple[int, str, str, float, float]] = []
+        #: registries added by hand (machine registries are walked live)
+        self._registries: List = []
+        self.machine = None
+        self._next_trace = 1
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+
+    def attach(self, machine) -> "Observatory":
+        """Plant this hub on every device/node of ``machine``."""
+        self.machine = machine
+        machine.obs = self
+        if getattr(machine, "switch", None) is not None:
+            machine.switch.obs = self
+        for node in machine.nodes:
+            node.obs = self
+            for dev in (node.adapter, node.nic):
+                if dev is not None:
+                    dev.obs = self
+        return self
+
+    def add_registry(self, registry) -> None:
+        """Track a :class:`~repro.sim.stats.StatRegistry` not reachable
+        from the machine walk (standalone components, tests)."""
+        self._registries.append(registry)
+
+    def _all_registries(self) -> List:
+        """Machine-reachable registries (walked live, so software layers
+        attached after :meth:`attach` are still found) + manual ones."""
+        regs: List = []
+        m = self.machine
+        if m is not None:
+            for holder in (getattr(m, "switch", None),
+                           getattr(m, "fabric", None)):
+                if holder is not None:
+                    regs.append(holder.stats)
+            for node in m.nodes:
+                regs.append(node.stats)
+                for attr in ("adapter", "nic", "am", "mpl", "mpi", "splitc"):
+                    layer = getattr(node, attr, None)
+                    st = getattr(layer, "stats", None)
+                    if st is not None:
+                        regs.append(st)
+        regs.extend(self._registries)
+        return regs
+
+    # ------------------------------------------------------------------
+    # span collection (called from hardware/protocol hooks)
+    # ------------------------------------------------------------------
+
+    def begin_message(self, pkt, t: float) -> Optional[MessageSpan]:
+        """Open a span for ``pkt`` at time ``t`` and stamp its trace id.
+
+        Idempotent: a packet that already carries a trace id keeps its
+        span (retransmissions re-enter the TX path with the same id).
+        """
+        tid = getattr(pkt, "trace_id", 0)
+        if tid:
+            return self.spans.get(tid)
+        if len(self.spans) >= self.span_limit:
+            self.dropped_spans += 1
+            return None
+        tid = self._next_trace
+        self._next_trace += 1
+        try:
+            pkt.trace_id = tid
+        except AttributeError:     # message type without a trace_id slot
+            return None
+        kind = getattr(getattr(pkt, "kind", None), "name",
+                       None) or str(getattr(pkt, "kind", type(pkt).__name__))
+        span = MessageSpan(
+            trace_id=tid, src=getattr(pkt, "src", -1),
+            dst=getattr(pkt, "dst", -1), kind=kind,
+            seq=getattr(pkt, "seq", 0),
+            wire_bytes=getattr(pkt, "wire_bytes", 0),
+        )
+        span.mark("begin", t)
+        self.spans[tid] = span
+        return span
+
+    def mark_packet(self, pkt, mark: str, t: float) -> Optional[MessageSpan]:
+        """Deposit an absolute-time mark on ``pkt``'s span (no-op when the
+        packet is untracked)."""
+        span = self.spans.get(getattr(pkt, "trace_id", 0))
+        if span is not None:
+            span.mark(mark, t)
+        return span
+
+    def packet_staged(self, pkt, t: float) -> Optional[MessageSpan]:
+        """Send-FIFO staging: open the span if the software layer above
+        didn't (its ``begin`` then coincides with staging) and refresh the
+        fields assigned after construction (seq, wire size)."""
+        span = self.begin_message(pkt, t)
+        if span is not None:
+            span.seq = getattr(pkt, "seq", span.seq)
+            span.wire_bytes = getattr(pkt, "wire_bytes", span.wire_bytes)
+            span.mark("stage", t)
+        return span
+
+    def packet_dropped(self, pkt) -> None:
+        span = self.spans.get(getattr(pkt, "trace_id", 0))
+        if span is not None:
+            span.drops += 1
+
+    # ------------------------------------------------------------------
+    # histograms + phase spans
+    # ------------------------------------------------------------------
+
+    def hist(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name)
+        return h
+
+    def phase(self, node: int, track: str, name: str,
+              t0: float, t1: float) -> None:
+        """Record a non-message span (compute phase, barrier, custom)."""
+        if len(self.phase_spans) < self.span_limit:
+            self.phase_spans.append((node, track, name, t0, t1))
+        else:
+            self.dropped_spans += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def spans_by_kind(self, kind: str) -> List[MessageSpan]:
+        return [s for s in self.spans.values() if s.kind == kind]
+
+    def stage_summary(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate per-stage latency over every span: stage name ->
+        histogram snapshot (count/min/mean/p50/p95/p99/max)."""
+        hists = {name: Histogram(name) for name, _a, _b in STAGES}
+        for span in self.spans.values():
+            for stage, dur in span.stage_durations().items():
+                hists[stage].observe(dur)
+        return {name: h.snapshot() for name, h in hists.items() if h.count}
+
+    def snapshot(self) -> Dict:
+        """One JSON-serializable snapshot: merged counters, time series,
+        and histogram summaries (the exporters' ``stats`` section)."""
+        counters: Dict[str, float] = {}
+        series: Dict[str, Dict] = {}
+        for reg in self._all_registries():
+            counters.update(reg.snapshot())
+            snap_series = getattr(reg, "snapshot_series", None)
+            if snap_series is not None:
+                series.update(snap_series())
+        return {
+            "counters": dict(sorted(counters.items())),
+            "series": dict(sorted(series.items())),
+            "histograms": {name: h.snapshot()
+                           for name, h in sorted(self.histograms.items())},
+            "spans": {
+                "recorded": len(self.spans),
+                "dropped": self.dropped_spans,
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Observatory(spans={len(self.spans)}, "
+                f"hists={len(self.histograms)})")

@@ -1,0 +1,92 @@
+"""The timestamped event log underlying :class:`repro.sim.tracing.Tracer`.
+
+Historically the Tracer owned its own event list; the log now lives here
+so the same machinery backs the debugging tracer, the JSONL exporter, and
+``spam-bench inspect``.  The log is bounded (``limit``) and counts what it
+had to drop, so a runaway protocol loop cannot eat the host's memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timeline entry."""
+
+    t: float
+    kind: str          # "tx", "rx", "drop", or a custom mark
+    node: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.t:12.2f}us  n{self.node}  {self.kind:<6} {self.detail}"
+
+
+class EventLog:
+    """A bounded, append-only list of :class:`TraceEvent` with queries."""
+
+    def __init__(self, limit: int = 1_000_000):
+        self.events: List[TraceEvent] = []
+        self.limit = limit
+        self.dropped_events = 0
+
+    # -- collection ------------------------------------------------------
+
+    def record(self, t: float, kind: str, node: int, detail: str) -> None:
+        if len(self.events) >= self.limit:
+            self.dropped_events += 1
+            return
+        self.events.append(TraceEvent(t=t, kind=kind, node=node,
+                                      detail=detail))
+
+    # -- querying --------------------------------------------------------
+
+    def filter(self, kind: Optional[str] = None, node: Optional[int] = None,
+               contains: Optional[str] = None) -> List[TraceEvent]:
+        out = self.events
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if node is not None:
+            out = [e for e in out if e.node == node]
+        if contains is not None:
+            out = [e for e in out if contains in e.detail]
+        return list(out)
+
+    def first(self, **kw) -> Optional[TraceEvent]:
+        hits = self.filter(**kw)
+        return hits[0] if hits else None
+
+    def count(self, **kw) -> int:
+        return len(self.filter(**kw))
+
+    def spans(self, start_contains: str, end_contains: str) -> List[float]:
+        """Durations between successive matching start/end marks.
+
+        While a span is open, further start matches are ignored (the span
+        closes at the *next* end match); an end mark with no open span is
+        ignored.  Interleaved unrelated marks are skipped.
+        """
+        out = []
+        start_t: Optional[float] = None
+        for e in self.events:
+            if start_contains in e.detail and start_t is None:
+                start_t = e.t
+            elif end_contains in e.detail and start_t is not None:
+                out.append(e.t - start_t)
+                start_t = None
+        return out
+
+    # -- rendering --------------------------------------------------------
+
+    def render(self, last: Optional[int] = None) -> str:
+        evs = self.events if last is None else self.events[-last:]
+        body = "\n".join(str(e) for e in evs)
+        if self.dropped_events:
+            body += f"\n... ({self.dropped_events} events beyond limit)"
+        return body
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,170 @@
+"""Exporters: Chrome trace-event JSON, JSONL span dumps, snapshots.
+
+Three machine-readable views of one :class:`~repro.obs.core.Observatory`:
+
+* :func:`chrome_trace` — the Chrome trace-event format (the ``{
+  "traceEvents": [...] }`` flavour), loadable in Perfetto / ``about:tracing``
+  with one process row per node plus one for the switch, and thread rows
+  for host / adapter / handler / phase activity.  Timestamps are already
+  microseconds — the simulator's native unit — so no scaling happens.
+* :func:`write_jsonl` / :func:`read_jsonl` — a line-per-span dump that
+  round-trips losslessly back into :class:`~repro.obs.span.MessageSpan`
+  objects (``spam-bench inspect`` consumes either format).
+* :meth:`Observatory.snapshot` (re-exported here as :func:`snapshot`) —
+  counters + series + histogram summaries for bench reports.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.obs.core import Observatory
+from repro.obs.span import STAGES, MessageSpan, span_from_dict
+
+#: synthetic "process" holding the switch's per-destination-link rows
+SWITCH_PID = 9999
+
+#: thread ids within a node's process row
+TID_HOST = 0
+TID_ADAPTER = 1
+TID_HANDLER = 2
+TID_PHASE = 3
+
+_TID_NAMES = {
+    TID_HOST: "host",
+    TID_ADAPTER: "adapter",
+    TID_HANDLER: "am handler",
+    TID_PHASE: "phases",
+}
+
+#: stage -> (which end of the span owns it, thread row)
+_STAGE_TRACK: Dict[str, Tuple[str, int]] = {
+    "send_sw": ("src", TID_HOST),
+    "tx_queue": ("src", TID_ADAPTER),
+    "tx_adapter": ("src", TID_ADAPTER),
+    "switch": ("switch", 0),
+    "rx_adapter": ("dst", TID_ADAPTER),
+    "poll_wait": ("dst", TID_HOST),
+    "dispatch": ("dst", TID_HOST),
+    "handler": ("dst", TID_HANDLER),
+}
+
+JSONL_SCHEMA = "spam-trace-jsonl/1"
+
+
+def _meta(pid: int, name: str, tid: int = None, tname: str = None) -> List[Dict]:
+    out = [{"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": name}}]
+    if tid is not None:
+        out.append({"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                    "args": {"name": tname}})
+    return out
+
+
+def chrome_trace(obs: Observatory) -> Dict:
+    """Render the observatory as a Chrome trace-event JSON object."""
+    events: List[Dict] = []
+    pids = set()
+    switch_rows = set()
+    for span in obs.spans.values():
+        durations = span.stage_durations()
+        for stage, start_mark, _end_mark in STAGES:
+            if stage not in durations:
+                continue
+            side, tid = _STAGE_TRACK[stage]
+            if side == "switch":
+                pid, tid = SWITCH_PID, span.dst
+                switch_rows.add(span.dst)
+            else:
+                pid = span.src if side == "src" else span.dst
+                pids.add(pid)
+            events.append({
+                "name": f"{stage}:{span.kind}",
+                "cat": span.kind,
+                "ph": "X",
+                "ts": span.marks[start_mark],
+                "dur": durations[stage],
+                "pid": pid,
+                "tid": tid,
+                "args": {"trace_id": span.trace_id, "seq": span.seq,
+                         "src": span.src, "dst": span.dst,
+                         "bytes": span.wire_bytes},
+            })
+    for node, track, name, t0, t1 in obs.phase_spans:
+        pids.add(node)
+        events.append({
+            "name": name, "cat": track, "ph": "X", "ts": t0,
+            "dur": max(0.0, t1 - t0), "pid": node, "tid": TID_PHASE,
+            "args": {"track": track},
+        })
+    meta: List[Dict] = []
+    for pid in sorted(pids):
+        meta.extend(_meta(pid, f"node {pid}"))
+        for tid, tname in _TID_NAMES.items():
+            meta.extend(_meta(pid, f"node {pid}", tid, tname)[1:])
+    if switch_rows:
+        meta.extend(_meta(SWITCH_PID, "switch"))
+        for dst in sorted(switch_rows):
+            meta.extend(_meta(SWITCH_PID, "switch", dst, f"link to n{dst}")[1:])
+    return {
+        "traceEvents": meta + sorted(events, key=lambda e: e["ts"]),
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "generator": "repro.obs",
+            "spans": len(obs.spans),
+            "dropped_spans": obs.dropped_spans,
+        },
+    }
+
+
+def write_chrome_trace(obs: Observatory, path: str) -> str:
+    with open(path, "w") as f:
+        json.dump(chrome_trace(obs), f, indent=1)
+    return path
+
+
+def write_jsonl(obs: Observatory, path: str) -> str:
+    """Dump every message span (and phase span) as one JSON object per
+    line; the first line is a schema header."""
+    with open(path, "w") as f:
+        header = {"type": "meta", "schema": JSONL_SCHEMA,
+                  "spans": len(obs.spans),
+                  "dropped_spans": obs.dropped_spans}
+        f.write(json.dumps(header) + "\n")
+        for span in obs.spans.values():
+            f.write(json.dumps({"type": "span", **span.to_dict()}) + "\n")
+        for node, track, name, t0, t1 in obs.phase_spans:
+            f.write(json.dumps({"type": "phase", "node": node,
+                                "track": track, "name": name,
+                                "t0": t0, "t1": t1}) + "\n")
+    return path
+
+
+def read_jsonl(path: str) -> Tuple[Dict, List[MessageSpan]]:
+    """Load a JSONL dump back: ``(meta, spans)``.
+
+    Phase lines are returned inside ``meta["phases"]``.
+    """
+    meta: Dict = {}
+    spans: List[MessageSpan] = []
+    phases: List[Tuple] = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            t = obj.get("type")
+            if t == "meta":
+                meta = obj
+            elif t == "span":
+                spans.append(span_from_dict(obj))
+            elif t == "phase":
+                phases.append((obj["node"], obj["track"], obj["name"],
+                               obj["t0"], obj["t1"]))
+            else:
+                raise ValueError(
+                    f"{path}:{lineno}: unknown line type {t!r}")
+    meta["phases"] = phases
+    return meta, spans

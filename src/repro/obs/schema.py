@@ -1,0 +1,182 @@
+"""Pure-python schema validation for the exporter formats.
+
+The container has no ``jsonschema``, and the formats are small, so the
+checks are hand-rolled: each validator returns a list of problem strings
+(empty means valid).  CI's smoke job and ``spam-bench inspect`` run these
+over freshly emitted files; tests assert on the problem lists directly.
+
+Validated formats:
+
+* Chrome trace-event JSON (object form with ``traceEvents``),
+* the JSONL span dump (``spam-trace-jsonl/1``),
+* ``BENCH_<experiment>.json`` reports (``spam-bench/1``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+BENCH_SCHEMA = "spam-bench/1"
+
+_PHASE_REQUIRED = {
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "B": ("name", "ts", "pid", "tid"),
+    "E": ("ts", "pid", "tid"),
+    "M": ("name", "pid"),
+    "C": ("name", "ts", "pid"),
+    "i": ("name", "ts", "pid"),
+}
+
+
+def _is_num(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def validate_chrome_trace(obj) -> List[str]:
+    """Problems with a Chrome trace-event JSON object (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return ["top level must be an object with 'traceEvents'"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' missing or not a list"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str):
+            problems.append(f"event {i}: missing 'ph'")
+            continue
+        for key in _PHASE_REQUIRED.get(ph, ("ts", "pid")):
+            if key not in ev:
+                problems.append(f"event {i} (ph={ph}): missing {key!r}")
+        for key in ("ts", "dur"):
+            if key in ev and not _is_num(ev[key]):
+                problems.append(f"event {i}: {key!r} not numeric")
+        if ev.get("ph") == "X" and _is_num(ev.get("dur")) and ev["dur"] < 0:
+            problems.append(f"event {i}: negative duration {ev['dur']}")
+        if len(problems) > 20:
+            problems.append("... further problems suppressed")
+            break
+    return problems
+
+
+def validate_jsonl_trace(path: str) -> List[str]:
+    """Problems with a JSONL span dump file (empty = valid)."""
+    from repro.obs.export import JSONL_SCHEMA
+
+    problems: List[str] = []
+    saw_meta = saw_span = False
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError as e:
+                problems.append(f"line {lineno}: not JSON ({e})")
+                continue
+            t = obj.get("type")
+            if t == "meta":
+                saw_meta = True
+                if obj.get("schema") != JSONL_SCHEMA:
+                    problems.append(
+                        f"line {lineno}: schema {obj.get('schema')!r} != "
+                        f"{JSONL_SCHEMA!r}")
+            elif t == "span":
+                saw_span = True
+                for key in ("trace_id", "src", "dst", "kind", "marks"):
+                    if key not in obj:
+                        problems.append(f"line {lineno}: span missing {key!r}")
+                marks = obj.get("marks", {})
+                if not isinstance(marks, dict) or not all(
+                        _is_num(v) for v in marks.values()):
+                    problems.append(f"line {lineno}: bad marks")
+            elif t == "phase":
+                for key in ("node", "track", "name", "t0", "t1"):
+                    if key not in obj:
+                        problems.append(f"line {lineno}: phase missing {key!r}")
+            else:
+                problems.append(f"line {lineno}: unknown type {t!r}")
+            if len(problems) > 20:
+                problems.append("... further problems suppressed")
+                break
+    if not saw_meta:
+        problems.append("no meta header line")
+    if not saw_span:
+        problems.append("no span lines")
+    return problems
+
+
+def validate_bench_report(obj) -> List[str]:
+    """Problems with a BENCH_<experiment>.json report (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return ["top level must be an object"]
+    if obj.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema {obj.get('schema')!r} != {BENCH_SCHEMA!r}")
+    if not isinstance(obj.get("experiment"), str):
+        problems.append("'experiment' missing or not a string")
+    results = obj.get("results")
+    if not isinstance(results, list) or not results:
+        problems.append("'results' missing or empty")
+        results = []
+    for i, row in enumerate(results):
+        if not isinstance(row, dict):
+            problems.append(f"result {i}: not an object")
+            continue
+        if not isinstance(row.get("name"), str):
+            problems.append(f"result {i}: missing 'name'")
+        if not _is_num(row.get("measured")):
+            problems.append(f"result {i}: 'measured' not numeric")
+        if "paper" in row and row["paper"] is not None \
+                and not _is_num(row["paper"]):
+            problems.append(f"result {i}: 'paper' not numeric/null")
+    stats = obj.get("stats")
+    if stats is not None:
+        if not isinstance(stats, dict):
+            problems.append("'stats' not an object")
+        else:
+            for section in ("counters", "histograms"):
+                if section in stats and not isinstance(stats[section], dict):
+                    problems.append(f"stats.{section} not an object")
+    return problems
+
+
+def sniff_and_validate(path: str) -> Dict:
+    """Detect the format of ``path`` and validate it.
+
+    Returns ``{"path", "format", "problems"}`` where format is one of
+    ``chrome-trace``, ``jsonl``, ``bench-report``, or ``unknown``.
+    """
+    with open(path) as f:
+        head = f.read(1)
+    if head == "{":
+        with open(path) as f:
+            first_line = f.readline()
+        # a JSONL file's first line is a complete JSON object; a pretty-
+        # printed trace/report is not
+        try:
+            obj = json.loads(first_line)
+            if isinstance(obj, dict) and obj.get("type") == "meta":
+                return {"path": path, "format": "jsonl",
+                        "problems": validate_jsonl_trace(path)}
+        except ValueError:
+            pass
+        with open(path) as f:
+            obj = json.load(f)
+        if "traceEvents" in obj:
+            return {"path": path, "format": "chrome-trace",
+                    "problems": validate_chrome_trace(obj)}
+        if obj.get("schema") == BENCH_SCHEMA:
+            return {"path": path, "format": "bench-report",
+                    "problems": validate_bench_report(obj)}
+        return {"path": path, "format": "unknown",
+                "problems": ["unrecognized JSON document"]}
+    return {"path": path, "format": "unknown",
+            "problems": ["not a JSON document"]}

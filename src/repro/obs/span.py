@@ -1,0 +1,132 @@
+"""Message-lifecycle spans: one record per packet, end to end.
+
+A :class:`MessageSpan` follows a single packet from the moment the sending
+software starts building it through handler completion on the far side,
+correlated across layers by the ``trace_id`` threaded through
+:class:`repro.hardware.packet.Packet`.  Each layer deposits absolute
+timestamps (*marks*); consecutive marks define the *stages* whose
+durations reconstruct the paper's latency attributions (Table 2's call
+cost pieces, §2.3's round-trip decomposition) from a live run.
+
+Mark names, in lifecycle order::
+
+    begin          sending software starts building the message
+    stage          packet written into the send FIFO (host DRAM)
+    dma_start      adapter TX service picks the armed entry up
+    wire_exit      last byte leaves the sending adapter onto the link
+    sw_deliver     switch hands the packet to the destination adapter
+    visible        receive-FIFO entry becomes visible to the polling host
+    consume        receiving software reads the packet out of the FIFO
+    handler_start  AM handler dispatch begins
+    handler_end    AM handler returns
+
+Packets that never reach a stage (drops, control packets without
+handlers) simply lack the later marks; stage queries skip missing pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: (stage name, start mark, end mark) in lifecycle order.  The stages tile
+#: the packet's life: summing them over a request/reply pair reproduces
+#: the measured round trip (see ``tests/obs/test_observatory.py``).
+STAGES: Tuple[Tuple[str, str, str], ...] = (
+    ("send_sw", "begin", "stage"),          # build + flush + length PIO
+    ("tx_queue", "stage", "dma_start"),     # length scan + FIFO wait
+    ("tx_adapter", "dma_start", "wire_exit"),  # MC DMA + i860 + wire
+    ("switch", "wire_exit", "sw_deliver"),  # hw latency + dest-link queue
+    ("rx_adapter", "sw_deliver", "visible"),   # MC DMA + i860 RX
+    ("poll_wait", "visible", "consume"),    # waiting for the host to poll
+    ("dispatch", "consume", "handler_start"),  # per-packet poll + lookup
+    ("handler", "handler_start", "handler_end"),
+)
+
+STAGE_NAMES: Tuple[str, ...] = tuple(s[0] for s in STAGES)
+
+
+@dataclass
+class MessageSpan:
+    """Everything observed about one packet's life."""
+
+    trace_id: int
+    src: int
+    dst: int
+    kind: str
+    seq: int = 0
+    wire_bytes: int = 0
+    #: absolute simulated times, keyed by mark name
+    marks: Dict[str, float] = field(default_factory=dict)
+    #: extra transits through the adapter TX path (go-back-N)
+    retransmits: int = 0
+    #: fabric fault-injection + receive-FIFO overflow losses
+    drops: int = 0
+    #: destination-link serialization wait accumulated in the switch
+    queued_us: float = 0.0
+
+    def mark(self, name: str, t: float) -> None:
+        self.marks[name] = t
+
+    def stage_durations(self) -> Dict[str, float]:
+        """Per-stage latency for every stage whose two marks exist.
+
+        Negative intervals (stale marks overwritten by a retransmission
+        mid-flight) are skipped rather than reported.
+        """
+        out: Dict[str, float] = {}
+        for name, a, b in STAGES:
+            ta, tb = self.marks.get(a), self.marks.get(b)
+            if ta is not None and tb is not None and tb >= ta:
+                out[name] = tb - ta
+        return out
+
+    @property
+    def begin(self) -> Optional[float]:
+        return self.marks.get("begin")
+
+    @property
+    def end(self) -> Optional[float]:
+        """The last mark present, in lifecycle order."""
+        last = None
+        for _name, _a, b in STAGES:
+            if b in self.marks:
+                last = self.marks[b]
+        return last
+
+    def total_us(self) -> Optional[float]:
+        b, e = self.begin, self.end
+        if b is None or e is None:
+            return None
+        return e - b
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (inverse of :func:`span_from_dict`)."""
+        return {
+            "trace_id": self.trace_id,
+            "src": self.src,
+            "dst": self.dst,
+            "kind": self.kind,
+            "seq": self.seq,
+            "wire_bytes": self.wire_bytes,
+            "marks": dict(self.marks),
+            "retransmits": self.retransmits,
+            "drops": self.drops,
+            "queued_us": self.queued_us,
+        }
+
+
+def span_from_dict(d: Dict) -> MessageSpan:
+    """Rebuild a :class:`MessageSpan` from :meth:`MessageSpan.to_dict`."""
+    return MessageSpan(
+        trace_id=int(d["trace_id"]),
+        src=int(d["src"]),
+        dst=int(d["dst"]),
+        kind=str(d["kind"]),
+        seq=int(d.get("seq", 0)),
+        wire_bytes=int(d.get("wire_bytes", 0)),
+        marks={str(k): float(v) for k, v in d.get("marks", {}).items()},
+        retransmits=int(d.get("retransmits", 0)),
+        drops=int(d.get("drops", 0)),
+        queued_us=float(d.get("queued_us", 0.0)),
+    )

@@ -1,0 +1,40 @@
+"""``python -m repro.obs.validate FILE...`` — validate emitted artifacts.
+
+Exit status 0 when every file passes its schema, 1 otherwise.  CI's smoke
+job runs this over the trace and bench report a ``spam-bench roundtrip
+--trace-out`` run just produced.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.obs.schema import sniff_and_validate
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if not args:
+        print("usage: python -m repro.obs.validate FILE...", file=sys.stderr)
+        return 2
+    failed = False
+    for path in args:
+        try:
+            result = sniff_and_validate(path)
+        except OSError as e:
+            print(f"FAIL  {path}: {e}")
+            failed = True
+            continue
+        if result["problems"]:
+            failed = True
+            print(f"FAIL  {path} ({result['format']})")
+            for p in result["problems"]:
+                print(f"      - {p}")
+        else:
+            print(f"OK    {path} ({result['format']})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,10 @@ Protocol layers record events ("packets_sent", "retransmissions",
 them back to assert protocol behaviour (e.g. that a lossless run performs
 zero retransmissions, or that lazy FIFO popping reduced MicroChannel
 accesses).
+
+Distribution queries (percentiles) delegate to :mod:`repro.obs.hist`, and
+both counters and series snapshot to plain JSON-serializable dicts so the
+observability exporters can embed any registry verbatim.
 """
 
 from __future__ import annotations
@@ -44,14 +48,38 @@ class TimeSeries:
     def values(self) -> List[float]:
         return [v for _, v in self.samples]
 
-    def mean(self) -> float:
+    def _require_data(self) -> List[float]:
         vals = self.values
         if not vals:
             raise ValueError(f"time series {self.name!r} is empty")
+        return vals
+
+    def mean(self) -> float:
+        vals = self._require_data()
         return sum(vals) / len(vals)
 
     def max(self) -> float:
-        return max(self.values)
+        return max(self._require_data())
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (``p`` in [0, 100]) of the values."""
+        from repro.obs.hist import percentile
+
+        return percentile(self._require_data(), p)
+
+    def snapshot(self) -> Dict[str, float]:
+        """JSON-serializable summary of the series."""
+        if not self.samples:
+            return {"count": 0}
+        return {
+            "count": len(self.samples),
+            "mean": self.mean(),
+            "max": self.max(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "last": self.samples[-1][1],
+        }
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -86,7 +114,16 @@ class StatRegistry:
         return 0 if c is None else c.value
 
     def snapshot(self) -> Dict[str, int]:
-        return {name: c.value for name, c in sorted(self._counters.items())}
+        """Counter values keyed by full (prefixed) name, sorted — stable
+        and JSON-serializable (plain ints/floats only)."""
+        return {c.name: c.value
+                for _key, c in sorted(self._counters.items())}
+
+    def snapshot_series(self) -> Dict[str, Dict[str, float]]:
+        """Per-series summaries keyed by full name, sorted; the series
+        counterpart of :meth:`snapshot` for the observability exporters."""
+        return {s.name: s.snapshot()
+                for _key, s in sorted(self._series.items())}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"StatRegistry({self.prefix!r}, {self.snapshot()})"

@@ -1,16 +1,22 @@
 """Event tracing: packet-level timelines for protocol debugging.
 
 A :class:`Tracer` attaches to a machine and records a timestamped event
-stream — packet departures/arrivals, drops, and any custom marks the
-software layers emit.  The stream can be filtered, asserted against in
-tests (e.g. "the rts left before the prefix"), or rendered as a text
-timeline for debugging protocol schedules like Figure 2's chunk pipeline.
+stream — packet departures (``tx``), arrivals (``rx``), drops, and any
+custom marks the software layers emit.  The stream can be filtered,
+asserted against in tests (e.g. "the rts left before the prefix"), or
+rendered as a text timeline for debugging protocol schedules like
+Figure 2's chunk pipeline.
+
+The collection/query machinery lives in :class:`repro.obs.events.EventLog`
+(shared with the observability exporters); the Tracer is the thin facade
+that knows how to hook a machine's devices.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from repro.obs.events import EventLog, TraceEvent
+
+__all__ = ["Tracer", "TraceEvent"]
 
 
 def _kind_name(pkt) -> str:
@@ -23,35 +29,20 @@ def _kind_name(pkt) -> str:
     return str(kind) if kind is not None else type(pkt).__name__
 
 
-@dataclass(frozen=True)
-class TraceEvent:
-    """One timeline entry."""
-
-    t: float
-    kind: str          # "tx", "rx", "drop", or a custom mark
-    node: int
-    detail: str
-
-    def __str__(self) -> str:
-        return f"{self.t:12.2f}us  n{self.node}  {self.kind:<6} {self.detail}"
-
-
-class Tracer:
+class Tracer(EventLog):
     """Records machine events; attach before running the workload."""
 
-    def __init__(self, limit: int = 1_000_000):
-        self.events: List[TraceEvent] = []
-        self.limit = limit
-        self.dropped_events = 0
-
-    # -- collection ------------------------------------------------------
-
     def attach(self, machine) -> "Tracer":
-        """Hook every adapter/NIC arrival and the switch's drop path."""
+        """Hook every adapter/NIC departure + arrival and the switch's
+        drop path."""
         sim = machine.sim
         for node in machine.nodes:
             dev = node.adapter if node.adapter is not None else node.nic
             nid = node.id
+            dev.add_departure_listener(
+                lambda pkt, t, nid=nid: self.record(
+                    t, "tx", nid,
+                    f"{_kind_name(pkt)} to n{pkt.dst}"))
             dev.add_arrival_listener(
                 lambda pkt, nid=nid, sim=sim: self.record(
                     sim.now, "rx", nid,
@@ -70,57 +61,6 @@ class Tracer:
             machine.switch.fault_injector = counting_injector
         return self
 
-    def record(self, t: float, kind: str, node: int, detail: str) -> None:
-        if len(self.events) >= self.limit:
-            self.dropped_events += 1
-            return
-        self.events.append(TraceEvent(t=t, kind=kind, node=node,
-                                      detail=detail))
-
     def mark(self, sim, node: int, detail: str) -> None:
         """Custom annotation from application/protocol code."""
         self.record(sim.now, "mark", node, detail)
-
-    # -- querying --------------------------------------------------------
-
-    def filter(self, kind: Optional[str] = None, node: Optional[int] = None,
-               contains: Optional[str] = None) -> List[TraceEvent]:
-        out = self.events
-        if kind is not None:
-            out = [e for e in out if e.kind == kind]
-        if node is not None:
-            out = [e for e in out if e.node == node]
-        if contains is not None:
-            out = [e for e in out if contains in e.detail]
-        return list(out)
-
-    def first(self, **kw) -> Optional[TraceEvent]:
-        hits = self.filter(**kw)
-        return hits[0] if hits else None
-
-    def count(self, **kw) -> int:
-        return len(self.filter(**kw))
-
-    def spans(self, start_contains: str, end_contains: str) -> List[float]:
-        """Durations between successive matching start/end marks."""
-        out = []
-        start_t: Optional[float] = None
-        for e in self.events:
-            if start_contains in e.detail and start_t is None:
-                start_t = e.t
-            elif end_contains in e.detail and start_t is not None:
-                out.append(e.t - start_t)
-                start_t = None
-        return out
-
-    # -- rendering --------------------------------------------------------
-
-    def render(self, last: Optional[int] = None) -> str:
-        evs = self.events if last is None else self.events[-last:]
-        body = "\n".join(str(e) for e in evs)
-        if self.dropped_events:
-            body += f"\n... ({self.dropped_events} events beyond limit)"
-        return body
-
-    def __len__(self) -> int:
-        return len(self.events)

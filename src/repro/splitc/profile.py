@@ -41,7 +41,9 @@ class PhaseProfile:
     def compute(self, us: float):
         """Charge a computation phase of ``us`` microseconds."""
         self.cpu_us += us
+        t0 = self.node.sim.now
         yield from self.node.compute(us)
+        self._record_phase(t0, self.node.sim.now)
 
     def flops(self, n: float):
         yield from self.compute(n * self.node.host.flop_us)
@@ -70,8 +72,16 @@ class PhaseProfile:
     def end_compute(self) -> None:
         if self._span_t0 is None:
             raise RuntimeError("begin_compute not called")
-        self.cpu_us += self.node.sim.now - self._span_t0
+        t1 = self.node.sim.now
+        self.cpu_us += t1 - self._span_t0
+        self._record_phase(self._span_t0, t1)
         self._span_t0 = None
+
+    def _record_phase(self, t0: float, t1: float) -> None:
+        obs = getattr(self.node, "obs", None)
+        if obs is not None and t1 > t0:
+            obs.phase(self.node.id, "phase", "compute", t0, t1)
+            obs.hist("splitc.compute_us").observe(t1 - t0)
 
     # -- results --------------------------------------------------------------
 

@@ -73,13 +73,13 @@ class TestCli:
     def test_cli_roundtrip_runs(self, capsys):
         from repro.cli import main
 
-        assert main(["roundtrip"]) == 0
+        assert main(["roundtrip", "--no-report"]) == 0
         out = capsys.readouterr().out
         assert "51.0" in out and "IBM MPL" in out
 
     def test_cli_table2_runs(self, capsys):
         from repro.cli import main
 
-        assert main(["table2"]) == 0
+        assert main(["table2", "--no-report"]) == 0
         out = capsys.readouterr().out
         assert "am_request_1" in out

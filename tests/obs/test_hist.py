@@ -1,0 +1,77 @@
+"""Histogram + nearest-rank percentile tests."""
+
+import pytest
+
+from repro.obs.hist import Histogram, percentile
+
+
+class TestPercentileFunction:
+    def test_nearest_rank(self):
+        vals = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(vals, 50) == 20.0
+        assert percentile(vals, 75) == 30.0
+        assert percentile(vals, 100) == 40.0
+        assert percentile(vals, 0) == 10.0
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_p99_of_hundred(self):
+        vals = list(range(1, 101))
+        assert percentile(vals, 99) == 99
+        assert percentile(vals, 50) == 50
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="outside"):
+            percentile([1.0], 101)
+
+
+class TestHistogram:
+    def test_observe_and_query(self):
+        h = Histogram("rtt")
+        for v in (5.0, 1.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.min() == 1.0
+        assert h.max() == 5.0
+        assert h.mean() == 3.0
+        assert h.percentile(50) == 3.0
+
+    def test_sorted_cache_invalidated_on_observe(self):
+        h = Histogram("x")
+        h.observe(10.0)
+        assert h.max() == 10.0          # builds the cache
+        h.observe(20.0)
+        assert h.max() == 20.0          # cache must have been rebuilt
+
+    def test_snapshot_keys(self):
+        h = Histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert set(snap) == {"count", "min", "mean", "p50", "p95", "p99",
+                             "max"}
+        assert snap["count"] == 100
+        assert snap["p50"] == 50.0
+        assert snap["p95"] == 95.0
+        assert snap["p99"] == 99.0
+        assert snap["max"] == 100.0
+
+    def test_empty_snapshot(self):
+        assert Histogram("quiet").snapshot() == {"count": 0}
+
+    def test_empty_raises_named_error(self):
+        with pytest.raises(ValueError, match="'quiet' is empty"):
+            Histogram("quiet").mean()
+        with pytest.raises(ValueError, match="'quiet' is empty"):
+            Histogram("quiet").percentile(50)
+
+    def test_values_returns_copy(self):
+        h = Histogram("x")
+        h.observe(1.0)
+        h.values.append(99.0)
+        assert h.count == 1

@@ -75,6 +75,89 @@ class TestCollection:
         assert "beyond limit" in tracer.render()
 
 
+def run_one_word_roundtrip():
+    sim = Simulator()
+    m = build_sp_machine(sim, 2)
+    tracer = Tracer().attach(m)
+    am0, am1 = attach_spam(m)
+    got = [0]
+
+    def reply_handler(token, x):
+        got[0] += 1
+
+    def request_handler(token, x):
+        yield from token.reply_1(reply_handler, x)
+
+    def pinger():
+        yield from am0.request_1(1, request_handler, 7)
+        while not got[0]:
+            yield from am0._wait_progress()
+
+    def ponger():
+        # exit on the locally visible condition (the handled request), so
+        # node 1 never idles long enough to emit keepalive traffic
+        while m.node(1).am.stats.get("handlers_run") == 0:
+            yield from am1._wait_progress()
+
+    p = sim.spawn(pinger())
+    q = sim.spawn(ponger())
+    sim.run_until_processes_done([p, q], limit=1e7)
+    return tracer
+
+
+class TestTxEvents:
+    def test_transmits_recorded(self):
+        """The transmit path reports into the tracer, not just rx/drop."""
+        tracer = run_one_word_roundtrip()
+        assert tracer.count(kind="tx", node=0) == 1
+        assert tracer.count(kind="tx", node=1) == 1
+        assert "REQUEST to n1" in tracer.first(kind="tx", node=0).detail
+        assert "REPLY to n0" in tracer.first(kind="tx", node=1).detail
+
+    def test_tx_rx_ordering_for_one_word_roundtrip(self):
+        tracer = run_one_word_roundtrip()
+        wire = [(e.kind, e.node) for e in tracer.events
+                if e.kind in ("tx", "rx")]
+        assert wire == [("tx", 0), ("rx", 1), ("tx", 1), ("rx", 0)]
+
+    def test_tx_precedes_matching_rx_in_time(self):
+        tracer = run_one_word_roundtrip()
+        tx = tracer.first(kind="tx", node=0)
+        rx = tracer.first(kind="rx", node=1)
+        assert tx.t <= rx.t
+
+    def test_store_transmits_counted(self):
+        tracer = run_store()
+        # 2000 B = 9 data packets leave node 0, plus the RTS exchange
+        assert tracer.count(kind="tx", node=0) >= 9
+
+
+class TestSpans:
+    def test_spans_with_interleaved_marks(self):
+        log = Tracer()
+
+        class FakeSim:
+            now = 0.0
+
+        sim = FakeSim()
+        for t, detail in [(1.0, "begin"), (2.0, "noise"), (3.0, "begin"),
+                          (5.0, "end"), (6.0, "end"), (7.0, "begin"),
+                          (9.0, "end")]:
+            sim.now = t
+            log.mark(sim, 0, detail)
+        # second "begin" ignored while open; second "end" has no open span
+        assert log.spans("begin", "end") == [4.0, 2.0]
+
+    def test_end_without_start_ignored(self):
+        log = Tracer()
+
+        class FakeSim:
+            now = 5.0
+
+        log.mark(FakeSim(), 0, "end")
+        assert log.spans("begin", "end") == []
+
+
 class TestQuerying:
     def test_filter_by_contains(self):
         tracer = run_store()

@@ -87,6 +87,13 @@ class AMCosts:
     #: acks ("timeouts are emulated by counting unsuccessful polls"):
     #: ~300 empty polls x 1.3 us
     keepalive_idle: float = 400.0
+    #: receiver-side stalled-assembly watchdog: a partially reassembled
+    #: chunk with no arrivals for this long NACKs the sender (a mid-chunk
+    #: loss produces no sequence gap, so the normal NACK path can't see
+    #: it).  Must exceed the worst intra-chunk packet gap (~7 us) by a
+    #: wide margin and stay below keepalive_idle so recovery beats the
+    #: keep-alive's exponential backoff.
+    assembly_stall_timeout: float = 150.0
     #: per-packet receiver cost of copying bulk payload to the user buffer
     #: is charged via HostParams.copy_rate; this is the fixed part
     bulk_recv_fixed: float = 0.3

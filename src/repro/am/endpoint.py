@@ -547,6 +547,12 @@ class SPAM:
         peer = self._peer(pkt.src)
         rwin = peer.recv[channel]
         verdict, unit = rwin.accept(pkt)
+        if rwin.has_partial_assembly and verdict in ("partial", "duplicate"):
+            # feed the stalled-assembly watchdog (§2.2 gap-less loss);
+            # duplicates count as progress too — they mean the sender's
+            # go-back-N burst is in flight, so NACKing again would only
+            # trigger another redundant full-window retransmission
+            rwin.assembly_progress_t = self.sim.now
         if verdict in ("deliver", "partial"):
             # copy payload out of the FIFO entry into the user buffer
             yield from self.node.compute(
@@ -645,7 +651,13 @@ class SPAM:
         self.stats.count("nacks_sent")
 
     def _process_nack(self, pkt: Packet):
-        """Go-back-N: retransmit saved packets the peer reports missing."""
+        """Go-back-N: retransmit saved packets the peer reports missing.
+
+        Fresh clones go on the wire: the retransmission buffer's copies
+        (and any earlier transmissions still referenced by in-flight
+        ``sim.at`` callbacks) must never be aliased by a packet whose ack
+        fields are being re-stamped.
+        """
         yield from self.node.compute(self.costs.nack_process)
         peer = self._peer(pkt.src)
         resent = 0
@@ -655,14 +667,25 @@ class SPAM:
                 continue
             for old in peer.send[channel].unacked_from(ack):
                 while not self.adapter.host_can_stage(1):
+                    if self.adapter.send_fifo.staged_count:
+                        # the FIFO may be full of our own staged-but-unarmed
+                        # retransmissions: arm them or the adapter never
+                        # drains and this loop waits forever (a go-back-N
+                        # burst can exceed the whole send FIFO)
+                        yield from self.node.compute(self.host.mc_pio)
+                        self.adapter.host_arm()
                     yield Delay(2.0)
-                self._stamp_acks(old, peer)
+                rt = old.clone()
+                self._stamp_acks(rt, peer)
                 yield from self.node.compute(
                     self.costs.store_per_packet
-                    + flush_cost(old.wire_bytes, self.host)
+                    + flush_cost(rt.wire_bytes, self.host)
                 )
-                self.adapter.host_stage(old)
+                self.adapter.host_stage(rt)
                 resent += 1
+                if resent % self.ARM_BATCH == 0:
+                    yield from self.node.compute(self.host.mc_pio)
+                    self.adapter.host_arm()
         if resent:
             yield from self.node.compute(self.host.mc_pio)
             self.adapter.host_arm()
@@ -681,7 +704,8 @@ class SPAM:
 
     def _do_duties(self):
         """End-of-poll flow-control work: deferred replies, quarter-window
-        explicit acks, and newly-unblocked bulk chunks."""
+        explicit acks, stalled-assembly NACKs, and newly-unblocked bulk
+        chunks."""
         while self._deferred_replies:
             dst, hid, args = self._deferred_replies[0]
             win = self._peer(dst).send[REPLY_CHANNEL]
@@ -693,11 +717,50 @@ class SPAM:
             for ch in (REQUEST_CHANNEL, REPLY_CHANNEL):
                 if peer.recv[ch].explicit_ack_due:
                     yield from self._send_ack(dst)
+        yield from self._check_stalled_assemblies()
         if self._sendable_ops_dirty:
             self._sendable_ops_dirty = False
             for op in list(self._active_sends):
                 if op.sendable_now():
                     yield from self._pump_send(op)
+
+    def _check_stalled_assemblies(self):
+        """Receiver-side recovery for gap-less mid-chunk losses (§2.2).
+
+        Every packet of a chunk carries the chunk's base sequence number,
+        so a loss *inside* a chunk produces no out-of-sequence arrival and
+        the normal NACK path never fires; without this watchdog the chunk
+        waits for the sender's keep-alive probe and its exponential
+        backoff.  A partial assembly with no arrivals for
+        ``assembly_stall_timeout`` sends a NACK carrying the expected
+        values (our cumulative acks), triggering go-back-N from the
+        chunk's base.  The check re-arms at the same interval, so a lost
+        stall-NACK still gives bounded recovery time.
+        """
+        threshold = self.costs.assembly_stall_timeout
+        for dst, peer in self._peers.items():
+            for ch in (REQUEST_CHANNEL, REPLY_CHANNEL):
+                rwin = peer.recv[ch]
+                if (not rwin.has_partial_assembly
+                        or rwin.assembly_progress_t is None):
+                    continue
+                now = self.sim.now
+                if (now - rwin.assembly_progress_t >= threshold
+                        and now - rwin.stall_nack_t >= threshold):
+                    rwin.stall_nack_t = now
+                    rwin.nack_outstanding = True
+                    yield from self._send_control(dst, PacketKind.NACK)
+                    self.stats.count("stall_nacks_sent")
+
+    def _stall_wait_cap(self) -> Optional[float]:
+        """How long _wait_progress may sleep before the stalled-assembly
+        watchdog must run again (None when no assembly is partial)."""
+        cap = None
+        for peer in self._peers.values():
+            for rwin in peer.recv:
+                if rwin.has_partial_assembly:
+                    cap = self.costs.assembly_stall_timeout
+        return cap
 
     def _send_keepalives(self):
         sent = 0
@@ -712,9 +775,25 @@ class SPAM:
         idle, sleep until the next arrival (equivalent in simulated time
         to the paper's poll spinning) with a keep-alive timeout."""
         if self.adapter.host_recv_available() == 0:
+            if self.adapter.recv_fifo.pending_pop > 0:
+                # going idle: return consumed receive-FIFO slots to the
+                # adapter even below the lazy-pop batch, so a near-full
+                # FIFO can't keep dropping the very retransmissions that
+                # would drain it
+                batch = self.adapter.recv_fifo.pending_pop
+                yield from self.node.compute(
+                    self.host.mc_pio + flush_cost(batch * 256, self.host)
+                )
+                self.adapter.host_recv_pop_batch()
+                self.stats.count("idle_pop_flushes")
+            timeout = self.costs.keepalive_idle * self._keepalive_backoff
+            stall_cap = self._stall_wait_cap()
+            if stall_cap is not None:
+                # a chunk is mid-reassembly: wake early enough for the
+                # stalled-assembly watchdog regardless of backoff
+                timeout = min(timeout, stall_cap)
             ev = self.adapter.arrival_event()
-            res = yield Timeout(
-                ev, self.costs.keepalive_idle * self._keepalive_backoff)
+            res = yield Timeout(ev, timeout)
             if res is TIMED_OUT:
                 yield from self._send_keepalives()
                 self._keepalive_backoff = min(self._keepalive_backoff * 2,

@@ -20,6 +20,21 @@ from typing import Dict, List, Optional, Tuple
 from repro.hardware.packet import Packet
 
 
+class AckBeyondWindowError(ValueError):
+    """A cumulative ack claimed sequence numbers never allocated."""
+
+
+class MidChunkAckError(ValueError):
+    """A cumulative ack landed strictly inside a saved transfer unit.
+
+    Chunks slide the window as one unit (§2.2): the receiver only ever
+    advertises unit-aligned values, so a mid-chunk ack means the peers
+    have desynchronized.  Accepting it silently would strand the unit's
+    packets in the retransmission buffer below ``base``, where go-back-N
+    can no longer reach them.
+    """
+
+
 class SendWindow:
     """Sender side: sequence allocation, credit, retransmission buffer."""
 
@@ -53,17 +68,35 @@ class SendWindow:
         return seq
 
     def save(self, seq: int, packets: List[Packet]) -> None:
-        """Keep a transfer unit for possible go-back-N retransmission."""
-        self._saved[seq] = packets
+        """Keep a transfer unit for possible go-back-N retransmission.
+
+        **Clones** are saved, not the caller's objects: the originals are
+        on their way through the send FIFO and may still be referenced by
+        in-flight ``sim.at`` callbacks when a retransmission later
+        re-stamps acknowledgements.
+        """
+        self._saved[seq] = [p.clone() for p in packets]
 
     def on_ack(self, ack: int) -> int:
-        """Cumulative ack: all seq < ack received.  Returns packets freed."""
+        """Cumulative ack: all seq < ack received.  Returns packets freed.
+
+        Raises :class:`AckBeyondWindowError` for an ack past ``next_seq``
+        and :class:`MidChunkAckError` for one landing strictly inside a
+        saved transfer unit — both indicate peer desynchronization and
+        must fail loudly rather than corrupt the retransmission buffer.
+        """
         if ack <= self.base:
             return 0
         if ack > self.next_seq:
-            raise ValueError(
+            raise AckBeyondWindowError(
                 f"ack {ack} beyond next_seq {self.next_seq} (corrupt peer?)"
             )
+        for s, unit in self._saved.items():
+            if s < ack < s + len(unit):
+                raise MidChunkAckError(
+                    f"ack {ack} splits transfer unit [{s}, {s + len(unit)}) "
+                    f"(base={self.base})"
+                )
         freed = 0
         for seq in [s for s in self._saved if s < ack]:
             freed += len(self._saved.pop(seq))
@@ -71,7 +104,13 @@ class SendWindow:
         return freed
 
     def unacked_from(self, seq: int) -> List[Packet]:
-        """All saved packets with sequence >= seq, in order (go-back-N)."""
+        """All saved packets with sequence >= seq, in order (go-back-N).
+
+        Returns the saved clones themselves; callers that put them back on
+        the wire must clone again (see :meth:`~repro.hardware.packet.
+        Packet.clone`) so the retransmission buffer never aliases live
+        wire state.
+        """
         out: List[Packet] = []
         for s in sorted(self._saved):
             if s >= seq:
@@ -119,6 +158,21 @@ class RecvWindow:
         #: set when a gap is observed and cleared when expected advances,
         #: so one loss triggers one NACK rather than a storm
         self.nack_outstanding = False
+        #: simulated time of the last packet accepted into a *partial*
+        #: chunk assembly (maintained by the endpoint); a partial assembly
+        #: with no arrivals past the stall threshold triggers a receiver-
+        #: side NACK, because a mid-chunk loss produces no sequence gap
+        #: (all chunk packets share the base seq) and would otherwise wait
+        #: for the sender's exponentially backed-off keep-alive.
+        self.assembly_progress_t: Optional[float] = None
+        #: when the last stalled-assembly NACK went out (rate limiting;
+        #: re-arms if the NACK itself is lost)
+        self.stall_nack_t: float = float("-inf")
+
+    @property
+    def has_partial_assembly(self) -> bool:
+        """Whether a chunk is mid-reassembly (some offsets still missing)."""
+        return self._assembly is not None
 
     def accept(self, pkt: Packet) -> Tuple[str, Optional[List[Packet]]]:
         """Classify an arriving sequenced packet.
@@ -147,6 +201,7 @@ class RecvWindow:
         if status == "complete":
             done = self._assembly
             self._assembly = None
+            self.assembly_progress_t = None
             self.expected += pkt.chunk_packets
             self.unacked_count += pkt.chunk_packets
             self.nack_outstanding = False

@@ -11,6 +11,8 @@ Usage::
     spam-bench table5 [--keys 2048]
     spam-bench nas [BT|FT|LU|MG|SP] [--variant mpi-am|mpi-f]
     spam-bench inspect FILE...          # validate + summarize traces/reports
+    spam-bench soak --seed 7 --loss 0.05 [--chaos]
+                                        # chaos campaign vs the reliability layer
 
 Table-style experiments also leave a machine-readable
 ``BENCH_<experiment>.json`` report next to the ASCII table (suppress with
@@ -222,6 +224,45 @@ def cmd_nas(args) -> None:
                     ["bench", "MPI-F", "MPI-AM", "ratio", "ok"], rows))
 
 
+def cmd_soak(args) -> int:
+    from repro.faults import run_soak
+
+    result = run_soak(
+        seed=args.seed, loss=args.loss, nodes=args.nodes,
+        pingpong=args.pingpong, chaos=args.chaos,
+        compare_clean=not args.no_clean,
+    )
+    print("\n".join(result.summary_lines()))
+    if args.trace_out:
+        from repro.obs import write_jsonl
+
+        try:
+            write_jsonl(result.obs, args.trace_out)
+        except OSError as e:
+            raise SystemExit(f"spam-bench: cannot write trace: {e}")
+        print(f"trace: {args.trace_out} (jsonl)")
+    entries = [
+        ("faults injected", None, float(result.total_injected)),
+        ("retransmissions", None, result.counters.get("retransmissions", 0.0)),
+        ("nacks sent", None, result.counters.get("nacks_sent", 0.0)),
+        ("stall nacks sent", None,
+         result.counters.get("stall_nacks_sent", 0.0)),
+        ("keepalives sent", None,
+         result.counters.get("keepalives_sent", 0.0)),
+        ("elapsed (us)", None, result.elapsed_us),
+        ("violations", None, float(len(result.violations))),
+    ]
+    if result.clean_elapsed_us is not None:
+        entries.append(("clean elapsed (us)", None, result.clean_elapsed_us))
+    _write_report(args, "soak", entries, obs=result.obs, extra={
+        "seed": result.seed, "loss": result.loss, "nodes": result.nodes,
+        "chaos": result.chaos,
+        "injected_counts": result.injected_counts,
+        "violations": result.violations,
+    })
+    return 1 if result.violations else 0
+
+
 def _inspect_chrome(path: str) -> None:
     import json
 
@@ -344,6 +385,23 @@ def main(argv=None) -> int:
     pn.add_argument("kernel", nargs="?", default=None)
     pi = sub.add_parser("inspect")
     pi.add_argument("files", nargs="+", metavar="FILE")
+    ps = sub.add_parser(
+        "soak", help="chaos soak: full AM workload under injected faults")
+    ps.add_argument("--seed", type=int, default=7,
+                    help="fault-plan seed (campaigns replay exactly)")
+    ps.add_argument("--loss", type=float, default=0.05,
+                    help="fault rate per packet (0..1)")
+    ps.add_argument("--nodes", type=_positive_int, default=2)
+    ps.add_argument("--pingpong", type=_positive_int, default=24,
+                    help="ping-pong messages per rank")
+    ps.add_argument("--chaos", action="store_true",
+                    help="all six fault kinds, not just drops")
+    ps.add_argument("--no-clean", action="store_true",
+                    help="skip the fault-free reference run "
+                         "(disables the recovery-time bound)")
+    ps.add_argument("--trace-out", metavar="FILE", default=None,
+                    help="dump the message-span trace (JSONL)")
+    _add_report_opts(ps)
     args = parser.parse_args(argv)
 
     if args.cmd in (None, "list"):
@@ -351,6 +409,8 @@ def main(argv=None) -> int:
         return 0
     if args.cmd == "inspect":
         return cmd_inspect(args)
+    if args.cmd == "soak":
+        return cmd_soak(args)
     dispatch = {
         "roundtrip": cmd_roundtrip,
         "table2": cmd_table2,

@@ -56,6 +56,10 @@ class TB2Adapter:
         self.stats = StatRegistry(f"tb2[{node_id}].")
         #: observability hub (set by Observatory.attach; None = untraced)
         self.obs = None
+        #: optional :class:`~repro.faults.injector.FaultInjector` (set by
+        #: ``install_faults``; duck-typed): forced receive-FIFO overflow
+        #: and send-DMA stalls
+        self.faults = None
         # TX service bookkeeping
         self._tx_free = 0.0
         self._tx_scheduled = False
@@ -78,7 +82,12 @@ class TB2Adapter:
         return self.send_fifo.free_entries >= n
 
     def host_stage(self, packet: Packet) -> None:
-        """Write one packet into the next send-FIFO entry."""
+        """Write one packet into the next send-FIFO entry.
+
+        Stamps the packet CRC (the TB2 computes it in hardware on the way
+        out) so fabric corruption is detectable at the receiving adapter.
+        """
+        packet.checksum = packet.compute_checksum()
         self.send_fifo.stage(packet)
         self.stats.count("tx_staged")
         if self.obs is not None:
@@ -155,6 +164,14 @@ class TB2Adapter:
         wire = pkt.wire_bytes / self.switch_params.link_rate
         occupancy = max(dma, p.i860_tx_occupancy, wire + p.msmu_gap)
         latency = dma + p.i860_tx_latency + wire
+        if self.faults is not None:
+            stall = self.faults.tx_stall_us(pkt, self.sim.now)
+            if stall > 0.0:
+                # injected send-DMA stall: the i860 holds this packet (and
+                # everything behind it) for ``stall`` microseconds
+                occupancy += stall
+                latency += stall
+                self.stats.count("tx_stalled_fault")
         self._tx_free = start + occupancy
         self.stats.count("tx_packets")
         self.stats.count("tx_bytes", pkt.wire_bytes)
@@ -177,13 +194,24 @@ class TB2Adapter:
     # ------------------------------------------------------------------
 
     def on_wire_arrival(self, packet: Packet) -> None:
-        """Switch-facing: accept or drop (FIFO overflow) a packet."""
-        if not self.recv_fifo.reserve():
-            # Input-buffer overflow: the packet is lost; §2.2's sequence
-            # numbers + NACK machinery must recover it.
+        """Switch-facing: accept or drop (CRC failure, FIFO overflow)."""
+        if not packet.checksum_ok():
+            # Hardware CRC check: a packet corrupted in the fabric is
+            # discarded here, indistinguishable from a loss to the layers
+            # above — §2.2's go-back-N recovers it.
+            self.stats.count("rx_dropped_corrupt")
+            if self.obs is not None:
+                self.obs.packet_dropped(packet, "crc")
+            return
+        forced = (self.faults is not None
+                  and self.faults.at_rx(packet, self.sim.now))
+        if forced or not self.recv_fifo.reserve():
+            # Input-buffer overflow (real or injected): the packet is
+            # lost; §2.2's sequence numbers + NACK machinery must
+            # recover it.
             self.stats.count("rx_dropped_overflow")
             if self.obs is not None:
-                self.obs.packet_dropped(packet)
+                self.obs.packet_dropped(packet, "overflow")
             return
         p = self.params
         dma = packet.wire_bytes / p.mc_dma_rate

@@ -117,6 +117,17 @@ class RecvFIFO:
         self.pending_pop += 1
         return self.visible.popleft()
 
+    @property
+    def has_pending_pop(self) -> bool:
+        """Whether consumed slots are still charged against capacity.
+
+        Pollers must flush these (``pop_batch``) before going idle even
+        below the lazy batch: a near-full FIFO whose free space is all
+        consumed-but-unpopped slots would otherwise drop every incoming
+        retransmission — the exact packets that would drain it.
+        """
+        return self.pending_pop > 0
+
     def should_pop(self) -> bool:
         """True when enough entries have been consumed to justify the ~1 us
         MicroChannel access that returns them to the adapter."""

@@ -13,7 +13,8 @@ each packet").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import zlib
+from dataclasses import dataclass, field, replace
 from enum import IntEnum
 from typing import Optional, Tuple
 
@@ -93,6 +94,12 @@ class Packet:
     #: layer's marks land on the same message-lifecycle span.  Not a wire
     #: field: contributes nothing to ``wire_bytes``.
     trace_id: int = 0
+    #: header/payload CRC, modelling the TB2's hardware packet CRC: stamped
+    #: by the adapter at send-FIFO staging, verified at wire arrival, and a
+    #: mismatch (payload corruption in the fabric) drops the packet exactly
+    #: like a loss so §2.2's go-back-N recovers it.  -1 = unstamped.  Part
+    #: of the 32-byte header, so it adds nothing to ``wire_bytes``.
+    checksum: int = -1
 
     def __post_init__(self) -> None:
         if len(self.payload) > PACKET_PAYLOAD_BYTES:
@@ -111,6 +118,33 @@ class Packet:
     @property
     def is_sequenced(self) -> bool:
         return self.kind in SEQUENCED_KINDS
+
+    def compute_checksum(self) -> int:
+        """CRC32 over every field the receiver acts on (the TB2 CRC)."""
+        h = zlib.crc32(self.payload)
+        for v in (int(self.kind), self.src, self.dst, self.seq,
+                  self.channel, self.handler, self.addr, self.offset,
+                  self.total_len, self.chunk_packets, self.op_token,
+                  self.ack_req, self.ack_rep, *self.args):
+            h = zlib.crc32(int(v).to_bytes(8, "little", signed=True), h)
+        return h
+
+    def checksum_ok(self) -> bool:
+        """Whether the stamped checksum still matches the contents
+        (unstamped packets vacuously pass)."""
+        return self.checksum < 0 or self.checksum == self.compute_checksum()
+
+    def clone(self) -> "Packet":
+        """An independent copy sharing no mutable state with this packet.
+
+        The retransmission buffer saves clones and go-back-N re-stages
+        clones, so a copy still in flight (duplicated, reordered, or held
+        in a ``sim.at`` callback) can never alias a packet whose ack
+        fields are being re-stamped.  ``payload``/``args`` are immutable
+        and shared; ``trace_id`` is kept so every copy lands on the same
+        observability span.
+        """
+        return replace(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         extra = f" +{len(self.payload)}B@{self.offset}" if self.payload else ""

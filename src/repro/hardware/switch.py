@@ -36,6 +36,11 @@ class Switch:
         self.obs = None
         #: optional hook: return True to drop this packet in the fabric
         self.fault_injector: Optional[Callable[[Packet], bool]] = None
+        #: optional :class:`~repro.faults.injector.FaultInjector` (set by
+        #: ``install_faults``; duck-typed so the hardware stays
+        #: independent of ``repro.faults``): richer fabric faults —
+        #: drop, duplicate, reorder, corrupt
+        self.faults = None
 
     def attach(self, node_id: int, adapter: "TB2Adapter") -> None:  # noqa: F821
         if node_id in self._adapters:
@@ -58,8 +63,31 @@ class Switch:
         if self.fault_injector is not None and self.fault_injector(packet):
             self.stats.count("packets_dropped_fault")
             if self.obs is not None:
-                self.obs.packet_dropped(packet)
+                self.obs.packet_dropped(packet, "fault_injector")
             return
+        reorder_hold = 0.0
+        duplicate: Optional[Packet] = None
+        dup_delay = 0.0
+        if self.faults is not None:
+            act = self.faults.at_switch(packet, self.sim.now)
+            if act is not None:
+                if act.kind == "drop":
+                    self.stats.count("packets_dropped_fault")
+                    if self.obs is not None:
+                        self.obs.packet_dropped(packet, "fault_drop")
+                    return
+                if act.kind == "corrupt":
+                    # the corrupted clone travels instead of the original;
+                    # the receive adapter's CRC check will reject it
+                    packet = act.packet
+                    self.stats.count("packets_corrupted_fault")
+                elif act.kind == "reorder":
+                    reorder_hold = act.delay_us
+                    self.stats.count("packets_reordered_fault")
+                elif act.kind == "duplicate":
+                    duplicate = act.packet
+                    dup_delay = act.delay_us
+                    self.stats.count("packets_duplicated_fault")
         p = self.params
         wire_time = packet.wire_bytes / p.link_rate
         start = max(wire_exit_time, self._dest_link_free[packet.dst])
@@ -67,13 +95,18 @@ class Switch:
         if queueing > 0:
             self.stats.count("dest_link_queued")
         self._dest_link_free[packet.dst] = start + wire_time
-        deliver_at = start + p.latency
+        deliver_at = start + p.latency + reorder_hold
         if self.obs is not None:
             self.obs.hist("switch.queue_us").observe(queueing)
             span = self.obs.mark_packet(packet, "sw_deliver", deliver_at)
             if span is not None:
                 span.queued_us += queueing
         self.sim.at(deliver_at, self._adapters[packet.dst].on_wire_arrival, packet)
+        if duplicate is not None:
+            # the fabric's stray copy trails the original by the rule's delay
+            self.sim.at(deliver_at + max(dup_delay, wire_time),
+                        self._adapters[duplicate.dst].on_wire_arrival,
+                        duplicate)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Switch({self.node_count} nodes)"

@@ -32,6 +32,10 @@ class Observatory:
         self.histograms: Dict[str, Histogram] = {}
         #: (node, track, name, t0, t1) — e.g. Split-C compute phases
         self.phase_spans: List[Tuple[int, str, str, float, float]] = []
+        #: every fault seen: injected faults (``fault``) and packet drops
+        #: (``packet_dropped``), each tagged with the victim's trace_id so
+        #: chaos campaigns can reconcile injections against observations
+        self.fault_events: List[Dict] = []
         #: registries added by hand (machine registries are walked live)
         self._registries: List = []
         self.machine = None
@@ -132,10 +136,34 @@ class Observatory:
             span.mark("stage", t)
         return span
 
-    def packet_dropped(self, pkt) -> None:
+    def packet_dropped(self, pkt, reason: str = "") -> None:
+        """A packet was lost (fabric fault, CRC reject, FIFO overflow)."""
         span = self.spans.get(getattr(pkt, "trace_id", 0))
         if span is not None:
             span.drops += 1
+        self._fault_event("packet_dropped", pkt, None, reason)
+
+    def fault(self, pkt, kind: str, t: float, detail: str = "") -> None:
+        """An injected fault fired against ``pkt`` (called by the
+        :class:`~repro.faults.injector.FaultInjector`)."""
+        self._fault_event(kind, pkt, t, detail)
+
+    def _fault_event(self, kind: str, pkt, t: Optional[float],
+                     detail: str) -> None:
+        if len(self.fault_events) >= self.span_limit:
+            self.dropped_spans += 1
+            return
+        self.fault_events.append({
+            "kind": kind,
+            "t": t,
+            "packet_kind": getattr(getattr(pkt, "kind", None), "name",
+                                   str(getattr(pkt, "kind", "?"))),
+            "trace_id": getattr(pkt, "trace_id", 0),
+            "seq": getattr(pkt, "seq", 0),
+            "src": getattr(pkt, "src", -1),
+            "dst": getattr(pkt, "dst", -1),
+            "detail": detail,
+        })
 
     # ------------------------------------------------------------------
     # histograms + phase spans
@@ -190,6 +218,7 @@ class Observatory:
                 "recorded": len(self.spans),
                 "dropped": self.dropped_spans,
             },
+            "fault_events": len(self.fault_events),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

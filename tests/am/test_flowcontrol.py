@@ -179,9 +179,11 @@ class TestLossRecovery:
         assert am1.stats.get("nacks_sent") == 1
         assert am1.stats.get("nacks_suppressed") >= 10
 
-    def test_intra_chunk_tail_loss_recovered_by_keepalive(self, sp2):
-        """A loss inside the final chunk produces no wrong-sequence arrival
-        at all; only the keep-alive path can recover it (§2.2)."""
+    def test_intra_chunk_loss_recovered_by_stall_nack(self, sp2):
+        """A loss inside a chunk produces no wrong-sequence arrival at all
+        (every chunk packet carries the base seq), so the normal NACK path
+        never fires.  The receiver's stalled-assembly watchdog must NACK
+        well before the sender's 400 us keep-alive would."""
         m, am0, am1 = sp2
         m.switch.fault_injector = DropNth(5, kinds={PacketKind.STORE_DATA})
         n = CHUNK_BYTES
@@ -197,9 +199,51 @@ class TestLossRecovery:
 
         run_pair(m, sender(), serve(am1, flag), limit=1e8)
         assert m.node(1).memory.read(dst, n) == data
-        assert am1.stats.get("nacks_sent") == 0
-        assert am0.stats.get("keepalives_sent") >= 1
-        assert am1.stats.get("keepalive_nacks_sent") >= 1
+        assert am1.stats.get("nacks_sent") == 0          # no gap ever seen
+        assert am1.stats.get("stall_nacks_sent") >= 1    # watchdog fired
+        assert am0.stats.get("retransmissions") > 0
+        # recovery beat the keep-alive: the whole store (clean ~330 us)
+        # finished within a couple of stall timeouts
+        assert am0.stats.get("keepalives_sent") == 0
+        assert m.sim.now < 3 * am1.costs.assembly_stall_timeout + 500
+
+    def test_retransmit_does_not_alias_saved_packets(self, sp2):
+        """Regression: retransmission used to push the retransmission
+        buffer's own Packet objects back through the send FIFO, re-stamping
+        their ack fields in place.  A duplicated NACK then triggered a
+        second retransmission of the *same* aliased objects while the first
+        copies were still in flight through ``sim.at`` callbacks.  Clones
+        must go on the wire; the saved copies must stay pristine."""
+        from repro.faults import FaultPlan, FaultRule, install_faults
+
+        m, am0, am1 = sp2
+        install_faults(m, FaultPlan(seed=3, rules=(
+            # lose a mid-chunk data packet to force go-back-N...
+            FaultRule(kind="drop", rate=1.0, after=4, budget=1,
+                      packet_kinds=frozenset({PacketKind.STORE_DATA})),
+            # ...and duplicate the recovery NACK so the sender retransmits
+            # the same saved unit twice, back to back
+            FaultRule(kind="duplicate", rate=1.0, budget=2, delay_us=30.0,
+                      packet_kinds=frozenset({PacketKind.NACK})),
+        )))
+        n = 2 * CHUNK_BYTES + 500
+        data = _payload(n, seed=9)
+        src = m.node(0).memory.alloc(n)
+        dst = m.node(1).memory.alloc(n)
+        m.node(0).memory.write(src, data)
+        flag = [0]
+
+        def sender():
+            yield from am0.store(1, src, dst, n)
+            flag[0] = 1
+
+        run_pair(m, sender(), serve(am1, flag), limit=1e8)
+        assert m.node(1).memory.read(dst, n) == data
+        assert am0.stats.get("retransmissions") > 0
+        # saved packets must still carry their original (unstamped-over)
+        # identity: every window fully acked means no unit was stranded
+        assert not any(w.has_unacked
+                       for peer in am0._peers.values() for w in peer.send)
 
 
 class TestOverflowRecovery:
@@ -225,6 +269,54 @@ class TestOverflowRecovery:
 
         run_pair(m, sender(), sleepy_receiver(), wait_both=True, limit=1e9)
         assert seen == list(range(n_msgs))
+
+    def test_idle_pop_flush_returns_consumed_slots(self):
+        """Regression: consumed receive-FIFO slots below ``lazy_pop_batch``
+        were never popped back to the adapter once the receiver went idle.
+        With a FIFO smaller than the batch, the capacity silently shrank
+        to zero — and every retransmission of the dropped packets was
+        itself dropped, forever.  ``_wait_progress`` must flush pending
+        pops before sleeping."""
+        from repro.am import attach_spam
+        from repro.hardware import build_sp_machine
+        from repro.hardware.fifo import RecvFIFO
+        from repro.sim import Delay, Simulator
+
+        sim = Simulator()
+        m = build_sp_machine(sim, 2)
+        # capacity 12 < lazy_pop_batch 16: without the idle flush the
+        # batch threshold is unreachable and consumed slots never return
+        m.node(1).adapter.recv_fifo = RecvFIFO(capacity=12, lazy_pop_batch=16)
+        am0, am1 = attach_spam(m)
+        n_msgs = 100
+        seen = []
+
+        def handler(token, i):
+            seen.append(i)
+
+        flag = [0]
+
+        def sender():
+            for i in range(n_msgs):
+                yield from am0.request_1(1, handler, i)
+            # keep serving until everything is acknowledged: dropped
+            # packets are only recovered by this side's retransmissions
+            while any(w.has_unacked for w in am0._peer(1).send):
+                yield from am0._wait_progress()
+            flag[0] = 1
+
+        def drowsy_receiver():
+            # alternate between serving a little and napping, so the FIFO
+            # repeatedly drains below the batch threshold and idles
+            while not flag[0]:
+                yield from am1._wait_progress()
+                yield Delay(200.0)
+
+        run_pair(m, sender(), drowsy_receiver(), wait_both=True, limit=1e9)
+        assert seen == list(range(n_msgs))
+        assert am1.stats.get("idle_pop_flushes") >= 1
+        fifo = m.node(1).adapter.recv_fifo
+        assert fifo.pending_pop < fifo.capacity
 
     def test_no_retransmissions_on_clean_runs(self, sp2):
         m, am0, am1 = sp2

@@ -6,12 +6,19 @@ whatever the loss pattern, the receiver delivers each transfer unit exactly
 once and in order, provided every suffix is eventually retransmitted.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.am.bulk import BulkRecvState, split_chunks
 from repro.am.constants import CHUNK_BYTES
-from repro.am.window import RecvWindow, SendWindow
+from repro.am.window import (
+    AckBeyondWindowError,
+    MidChunkAckError,
+    RecvWindow,
+    SendWindow,
+)
+from repro.faults import FaultInjector, FaultPlan, FaultRule
 from repro.hardware.packet import Packet, PacketKind
 
 
@@ -27,20 +34,133 @@ def pkt(seq, chunk_packets=1, offset=0):
 def test_sender_invariants_hold(acks, allocs):
     w = SendWindow(72)
     alloc_iter = iter(allocs)
+    units = []  # (seq, npackets) transfer units, in order
     last_base = 0
     for ack in acks:
         # interleave allocations when credit allows
         n = next(alloc_iter, None)
         if n is not None and w.can_send(n):
             seq = w.allocate(n)
-            w.save(seq, [pkt(seq + i) for i in range(n)])
+            w.save(seq, [pkt(seq, n, offset=i * 224) for i in range(n)])
+            units.append((seq, n))
         assert 0 <= w.in_flight <= w.window
         if w.base <= ack <= w.next_seq:
+            # a real receiver only advertises unit-aligned cumulative
+            # acks (chunks slide the window as one unit, §2.2)
+            for s, un in units:
+                if s < ack < s + un:
+                    ack = s
+                    break
             w.on_ack(ack)
         # the base never regresses
         assert w.base >= last_base
         last_base = w.base
         assert w.base <= w.next_seq
+
+
+@given(
+    npk=st.integers(min_value=2, max_value=36),
+    cut=st.integers(min_value=1, max_value=35),
+)
+def test_mid_chunk_ack_rejected(npk, cut):
+    """An ack strictly inside a saved chunk means the peers have
+    desynchronized; it must raise, not silently strand packets below
+    ``base`` where go-back-N can no longer retransmit them."""
+    cut = min(cut, npk - 1)
+    w = SendWindow(72)
+    seq = w.allocate(npk)
+    w.save(seq, [pkt(seq, npk, offset=i * 224) for i in range(npk)])
+    with pytest.raises(MidChunkAckError):
+        w.on_ack(seq + cut)
+    # the reject left the window untouched: base unchanged, every saved
+    # packet still reachable, and a unit-aligned ack still works
+    assert w.base == 0
+    assert len(w.unacked_from(0)) == npk
+    assert w.on_ack(seq + npk) == npk
+    assert not w.has_unacked
+
+
+def test_ack_beyond_window_rejected():
+    w = SendWindow(72)
+    seq = w.allocate(4)
+    w.save(seq, [pkt(seq + i) for i in range(4)])
+    with pytest.raises(AckBeyondWindowError):
+        w.on_ack(5)
+    assert w.base == 0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    units=st.lists(st.integers(min_value=1, max_value=36),
+                   min_size=1, max_size=10),
+)
+@settings(max_examples=50, deadline=None)
+def test_fault_plan_model_checker(seed, units):
+    """Model checker: push a sequenced stream through a FaultInjector-
+    driven channel (random drops, duplicates, reorders) into a receiver
+    window, run go-back-N recovery rounds, and check every docstring
+    invariant of window.py against a reference in-order channel."""
+    plan = FaultPlan(seed=seed, budget=25, rules=(
+        FaultRule(kind="drop", rate=0.2),
+        FaultRule(kind="duplicate", rate=0.2),
+        FaultRule(kind="reorder", rate=0.2, delay_us=5.0),
+    ))
+    inj = FaultInjector(plan)
+    send = SendWindow(10_000)
+    recv = RecvWindow(10_000, 2_500)
+    saved_units = []
+    for npk in units:
+        seq = send.allocate(npk)
+        send.save(seq, [pkt(seq, npk, offset=i * 224) for i in range(npk)])
+        saved_units.append(seq)
+
+    delivered = []       # unit base seqs, in delivery order
+    last_ack = 0
+    t = 0.0
+
+    def channel(packets):
+        """The faulty wire: returns the arrival order after injection."""
+        nonlocal t
+        arrivals = []    # (arrival_time, tiebreak, pkt)
+        order = 0
+        for p in packets:
+            t += 1.0
+            act = inj.at_switch(p, t)
+            if act is None:
+                arrivals.append((t, order, p))
+            elif act.kind == "drop":
+                continue
+            elif act.kind == "reorder":
+                arrivals.append((t + act.delay_us, order, p))
+            elif act.kind == "duplicate":
+                arrivals.append((t, order, p))
+                arrivals.append((t + act.delay_us, order + 0.5, act.packet))
+            else:  # corrupt: modelled as a loss (CRC reject)
+                continue
+            order += 1
+        return [p for _t, _o, p in sorted(arrivals, key=lambda a: a[:2])]
+
+    # first lossy pass, then go-back-N rounds (budget exhaustion makes
+    # the channel eventually clean, so recovery must converge)
+    pending = [p for seq in saved_units for p in send.unacked_from(seq)][:]
+    for _round in range(60):
+        for p in channel(pending):
+            verdict, unit = recv.accept(p)
+            if verdict == "deliver":
+                delivered.append(unit[0].seq)
+        ack = recv.ack_value()
+        assert ack >= last_ack, "cumulative ack moved backwards"
+        last_ack = ack
+        send.on_ack(ack)          # unit-aligned by construction
+        assert 0 <= send.in_flight <= send.window
+        assert send.base <= send.next_seq
+        if not send.has_unacked:
+            break
+        pending = [p.clone() for p in send.unacked_from(recv.expected)]
+    # exactly-once, in-order delivery of every transfer unit
+    assert delivered == saved_units
+    assert not send.has_unacked
+    assert recv.expected == send.next_seq
 
 
 @given(

@@ -1,0 +1,280 @@
+"""Unit tests for the fault-injection subsystem: plan validation,
+deterministic replay, budgets, targeted triggers, and the observability
+of every fault kind at its injection site."""
+
+import pytest
+
+from repro.am import attach_spam
+from repro.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    install_faults,
+)
+from repro.hardware import build_sp_machine
+from repro.hardware.packet import Packet, PacketKind
+from repro.obs.core import Observatory
+from repro.sim import Simulator
+from tests.am.conftest import run_pair, serve
+
+
+# ---------------------------------------------------------------------------
+# plan validation
+# ---------------------------------------------------------------------------
+
+class TestPlanValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule(kind="teleport")
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            FaultRule(kind="drop", rate=1.5)
+        with pytest.raises(ValueError):
+            FaultRule(kind="drop", rate=-0.1)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule(kind="drop", budget=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, budget=-2)
+
+    def test_negative_after_and_delay_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule(kind="drop", after=-1)
+        with pytest.raises(ValueError):
+            FaultRule(kind="reorder", delay_us=-5.0)
+
+    def test_every_kind_constructs(self):
+        for kind in FAULT_KINDS:
+            FaultRule(kind=kind)
+
+    def test_plans_are_frozen(self):
+        plan = FaultPlan.loss(seed=1, rate=0.5)
+        with pytest.raises(AttributeError):
+            plan.seed = 2
+        with pytest.raises(AttributeError):
+            plan.rules[0].rate = 0.9
+
+    def test_chaos_plan_covers_every_kind(self):
+        plan = FaultPlan.chaos(seed=1, rate=0.1)
+        assert sorted(r.kind for r in plan.rules) == sorted(FAULT_KINDS)
+
+
+# ---------------------------------------------------------------------------
+# injector determinism + bounds (no machine needed)
+# ---------------------------------------------------------------------------
+
+def _packets(n, kind=PacketKind.REQUEST):
+    out = []
+    for i in range(n):
+        p = Packet(src=0, dst=1, kind=kind, seq=i)
+        p.trace_id = i + 1
+        out.append(p)
+    return out
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_injections(self):
+        plan = FaultPlan.chaos(seed=42, rate=0.3)
+        runs = []
+        for _ in range(2):
+            inj = FaultInjector(plan)
+            for p in _packets(200):
+                inj.at_switch(p, now=float(p.seq))
+                inj.at_rx(p, now=float(p.seq))
+                inj.tx_stall_us(p, now=float(p.seq))
+            runs.append(inj.injected)
+        assert runs[0] == runs[1]
+        assert len(runs[0]) > 0
+
+    def test_different_seed_different_injections(self):
+        def fire(seed):
+            inj = FaultInjector(FaultPlan.loss(seed=seed, rate=0.3))
+            return [p.seq for p in _packets(200)
+                    if inj.at_switch(p, 0.0) is not None]
+        assert fire(1) != fire(2)
+
+    def test_global_budget_caps_total(self):
+        plan = FaultPlan(seed=1, budget=5,
+                         rules=(FaultRule(kind="drop", rate=1.0),))
+        inj = FaultInjector(plan)
+        fired = sum(inj.at_switch(p, 0.0) is not None for p in _packets(50))
+        assert fired == 5
+        assert inj.budget_left == 0
+
+    def test_per_rule_budget(self):
+        plan = FaultPlan(seed=1, rules=(
+            FaultRule(kind="drop", rate=1.0, budget=3),
+            FaultRule(kind="duplicate", rate=1.0),
+        ))
+        inj = FaultInjector(plan)
+        kinds = [inj.at_switch(p, 0.0).kind for p in _packets(10)]
+        # drop wins while its budget lasts, then duplicate takes over
+        assert kinds == ["drop"] * 3 + ["duplicate"] * 7
+
+    def test_after_skips_matching_packets(self):
+        plan = FaultPlan(seed=1, rules=(
+            FaultRule(kind="drop", rate=1.0, after=4, budget=1),))
+        inj = FaultInjector(plan)
+        fired = [p.seq for p in _packets(10)
+                 if inj.at_switch(p, 0.0) is not None]
+        assert fired == [4]  # 0-indexed: the 5th matching packet
+
+    def test_seq_targeted_trigger(self):
+        plan = FaultPlan(seed=1, rules=(
+            FaultRule(kind="drop", seqs=frozenset({7, 9})),))
+        inj = FaultInjector(plan)
+        fired = [p.seq for p in _packets(20)
+                 if inj.at_switch(p, 0.0) is not None]
+        assert fired == [7, 9]
+
+    def test_trace_targeted_trigger(self):
+        plan = FaultPlan(seed=1, rules=(
+            FaultRule(kind="drop", trace_ids=frozenset({3})),))
+        inj = FaultInjector(plan)
+        fired = [p.trace_id for p in _packets(20)
+                 if inj.at_switch(p, 0.0) is not None]
+        assert fired == [3]
+
+    def test_kind_filter(self):
+        plan = FaultPlan(seed=1, rules=(
+            FaultRule(kind="drop",
+                      packet_kinds=frozenset({PacketKind.STORE_DATA})),))
+        inj = FaultInjector(plan)
+        assert all(inj.at_switch(p, 0.0) is None for p in _packets(10))
+        assert inj.at_switch(
+            _packets(1, PacketKind.STORE_DATA)[0], 0.0) is not None
+
+    def test_corrupt_action_fails_crc(self):
+        plan = FaultPlan(seed=1, rules=(FaultRule(kind="corrupt"),))
+        inj = FaultInjector(plan)
+        p = Packet(src=0, dst=1, kind=PacketKind.STORE_DATA, seq=0,
+                   payload=b"hello world")
+        p.trace_id = 1
+        p.checksum = p.compute_checksum()
+        act = inj.at_switch(p, 0.0)
+        assert act.kind == "corrupt"
+        assert p.checksum_ok()                   # original untouched
+        assert not act.packet.checksum_ok()      # clone detectably broken
+        assert act.packet.trace_id == p.trace_id
+
+
+# ---------------------------------------------------------------------------
+# every kind lands on its hardware site and is observable
+# ---------------------------------------------------------------------------
+
+def _machine_with(plan):
+    sim = Simulator()
+    m = build_sp_machine(sim, 2)
+    obs = Observatory().attach(m)
+    am0, am1 = attach_spam(m)
+    inj = install_faults(m, plan)
+    return m, am0, am1, inj, obs
+
+
+def _ping(m, am0, am1, n=20):
+    seen = []
+
+    def handler(token, i):
+        seen.append(i)
+
+    flag = [0]
+
+    def sender():
+        for i in range(n):
+            yield from am0.request_1(1, handler, i)
+        while any(w.has_unacked for w in am0._peer(1).send):
+            yield from am0._wait_progress()
+        flag[0] = 1
+
+    run_pair(m, sender(), serve(am1, flag), wait_both=True, limit=1e8)
+    return seen
+
+
+class TestInjectionSites:
+    def test_install_requires_switch_fabric(self):
+        from repro.hardware.params import machine_params
+        from repro.hardware import build_generic_machine
+
+        sim = Simulator()
+        m = build_generic_machine(sim, 2, machine_params("cm5"))
+        with pytest.raises(ValueError, match="switch fabric"):
+            install_faults(m, FaultPlan.loss(seed=1, rate=0.1))
+
+    def test_drop_counted_and_recovered(self):
+        plan = FaultPlan(seed=1, rules=(
+            FaultRule(kind="drop", after=2, budget=1,
+                      packet_kinds=frozenset({PacketKind.REQUEST})),))
+        m, am0, am1, inj, obs = _machine_with(plan)
+        seen = _ping(m, am0, am1)
+        assert seen == list(range(20))
+        assert inj.counts() == {"drop": 1}
+        assert m.switch.stats.get("packets_dropped_fault") == 1
+        assert am0.stats.get("retransmissions") > 0
+
+    def test_duplicate_dropped_at_am_layer(self):
+        plan = FaultPlan(seed=1, rules=(
+            FaultRule(kind="duplicate", after=2, budget=1,
+                      packet_kinds=frozenset({PacketKind.REQUEST})),))
+        m, am0, am1, inj, obs = _machine_with(plan)
+        seen = _ping(m, am0, am1)
+        assert seen == list(range(20))      # exactly once despite the clone
+        assert inj.counts() == {"duplicate": 1}
+        assert m.switch.stats.get("packets_duplicated_fault") == 1
+        assert am1.stats.get("duplicates_dropped") >= 1
+
+    def test_reorder_triggers_nack_recovery(self):
+        plan = FaultPlan(seed=1, rules=(
+            FaultRule(kind="reorder", after=2, budget=1, delay_us=300.0,
+                      packet_kinds=frozenset({PacketKind.REQUEST})),))
+        m, am0, am1, inj, obs = _machine_with(plan)
+        seen = _ping(m, am0, am1)
+        assert seen == list(range(20))      # in order despite the overtake
+        assert inj.counts() == {"reorder": 1}
+        assert m.switch.stats.get("packets_reordered_fault") == 1
+        # later packets arrived first -> gap -> NACK path fired
+        assert am1.stats.get("nacks_sent") >= 1
+
+    def test_corrupt_rejected_by_crc(self):
+        plan = FaultPlan(seed=1, rules=(
+            FaultRule(kind="corrupt", after=2, budget=1,
+                      packet_kinds=frozenset({PacketKind.REQUEST})),))
+        m, am0, am1, inj, obs = _machine_with(plan)
+        seen = _ping(m, am0, am1)
+        assert seen == list(range(20))
+        assert inj.counts() == {"corrupt": 1}
+        assert m.node(1).adapter.stats.get("rx_dropped_corrupt") == 1
+
+    def test_rx_overflow_forced(self):
+        plan = FaultPlan(seed=1, rules=(
+            FaultRule(kind="rx_overflow", after=2, budget=1,
+                      packet_kinds=frozenset({PacketKind.REQUEST})),))
+        m, am0, am1, inj, obs = _machine_with(plan)
+        seen = _ping(m, am0, am1)
+        assert seen == list(range(20))
+        assert inj.counts() == {"rx_overflow": 1}
+        assert m.node(1).adapter.stats.get("rx_dropped_overflow") == 1
+
+    def test_tx_stall_charged(self):
+        plan = FaultPlan(seed=1, rules=(
+            FaultRule(kind="tx_stall", after=2, budget=1, delay_us=50.0,
+                      packet_kinds=frozenset({PacketKind.REQUEST})),))
+        m, am0, am1, inj, obs = _machine_with(plan)
+        seen = _ping(m, am0, am1)
+        assert seen == list(range(20))
+        assert inj.counts() == {"tx_stall": 1}
+        assert m.node(0).adapter.stats.get("tx_stalled_fault") == 1
+
+    def test_every_injection_reaches_obs_with_trace_id(self):
+        plan = FaultPlan.chaos(seed=5, rate=0.1)
+        m, am0, am1, inj, obs = _machine_with(plan)
+        seen = _ping(m, am0, am1, n=40)
+        assert seen == list(range(40))
+        assert inj.total_injected > 0
+        for f in inj.injected:
+            assert f.trace_id > 0
+            assert any(ev["kind"] == f.kind and ev["trace_id"] == f.trace_id
+                       and ev["t"] == f.t for ev in obs.fault_events)
+        assert obs.snapshot()["fault_events"] == len(obs.fault_events)

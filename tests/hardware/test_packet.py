@@ -50,3 +50,35 @@ def test_sequenced_kinds():
     assert Packet(src=0, dst=1, kind=PacketKind.STORE_DATA).is_sequenced
     assert not Packet(src=0, dst=1, kind=PacketKind.ACK).is_sequenced
     assert not Packet(src=0, dst=1, kind=PacketKind.RAW).is_sequenced
+
+
+def test_checksum_covers_payload_and_header_fields():
+    p = Packet(src=0, dst=1, kind=PacketKind.STORE_DATA, seq=5,
+               payload=b"abc", offset=224, ack_req=3)
+    p.checksum = p.compute_checksum()
+    assert p.checksum_ok()
+    for mutate in (lambda q: setattr(q, "payload", b"abd"),
+                   lambda q: setattr(q, "seq", 6),
+                   lambda q: setattr(q, "offset", 0),
+                   lambda q: setattr(q, "ack_req", 4),
+                   lambda q: setattr(q, "handler", 9)):
+        q = p.clone()
+        mutate(q)
+        assert not q.checksum_ok(), "mutation went undetected"
+
+
+def test_unstamped_checksum_always_passes():
+    p = Packet(src=0, dst=1, kind=PacketKind.REQUEST)
+    assert p.checksum == -1 and p.checksum_ok()
+
+
+def test_clone_is_deep_enough_and_keeps_trace_id():
+    p = Packet(src=0, dst=1, kind=PacketKind.STORE_DATA, seq=7,
+               payload=b"data", args=(1, 2))
+    p.trace_id = 99
+    q = p.clone()
+    assert q is not p and q == p
+    assert q.trace_id == 99
+    q.ack_req = 42
+    q.seq = 8
+    assert p.ack_req == -1 and p.seq == 7  # original unaffected

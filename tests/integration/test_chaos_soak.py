@@ -1,0 +1,76 @@
+"""Chaos soak: the full AM + Split-C workload under sustained faults.
+
+Each case runs :func:`repro.faults.run_soak` — ping-pong, multi-chunk
+bulk transfer, and a Split-C phase — under an injection plan, and asserts
+the reliability layer's whole contract at once: exactly-once in-order
+delivery, intact memory contents, no window-invariant violations, a
+bounded recovery time versus the fault-free run, and one observability
+fault event per injection (reconciled by trace_id).
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultRule, run_soak
+from repro.hardware.packet import PacketKind
+
+
+@pytest.mark.parametrize("loss", [0.001, 0.02, 0.1])
+def test_soak_survives_uniform_loss(loss):
+    result = run_soak(seed=7, loss=loss)
+    assert result.violations == []
+    if loss >= 0.02:
+        assert result.total_injected > 0
+        assert result.counters.get("retransmissions", 0) > 0
+
+
+def test_soak_survives_chaos_mix():
+    result = run_soak(seed=11, loss=0.05, chaos=True)
+    assert result.violations == []
+    # the mix actually exercised several fault kinds
+    assert len(result.injected_counts) >= 3
+
+
+def test_soak_is_deterministic():
+    a = run_soak(seed=13, loss=0.05, compare_clean=False)
+    b = run_soak(seed=13, loss=0.05, compare_clean=False)
+    assert a.elapsed_us == b.elapsed_us
+    assert a.injected == b.injected
+    assert a.counters == b.counters
+
+
+def test_soak_bounds_recovery_time():
+    result = run_soak(seed=7, loss=0.05)
+    assert result.clean_elapsed_us is not None
+    assert result.elapsed_us <= result.recovery_bound_us
+    # faults genuinely cost time (sanity that the clean run is clean)
+    assert result.counters.get("retransmissions", 0) > 0
+
+
+def test_soak_reconciles_every_fault_with_obs():
+    result = run_soak(seed=7, loss=0.05, compare_clean=False)
+    assert result.violations == []
+    events = result.obs.fault_events
+    for f in result.injected:
+        assert f.trace_id > 0
+        assert any(ev["kind"] == f.kind and ev["trace_id"] == f.trace_id
+                   for ev in events)
+
+
+def test_soak_four_nodes():
+    result = run_soak(seed=9, loss=0.02, nodes=4, pingpong=12,
+                      bulk_bytes=9000, compare_clean=False)
+    assert result.violations == []
+
+
+def test_soak_custom_plan_targeted_at_bulk_data():
+    plan = FaultPlan(seed=21, rules=(
+        FaultRule(kind="drop", rate=0.08,
+                  packet_kinds=frozenset({PacketKind.STORE_DATA,
+                                          PacketKind.GET_DATA})),
+        FaultRule(kind="duplicate", rate=0.05,
+                  packet_kinds=frozenset({PacketKind.NACK,
+                                          PacketKind.ACK})),
+    ))
+    result = run_soak(seed=21, plan=plan, compare_clean=False)
+    assert result.violations == []
+    assert result.injected_counts.get("drop", 0) > 0

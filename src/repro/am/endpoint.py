@@ -19,6 +19,7 @@ may send at most one reply through their :class:`ReplyToken`.
 from __future__ import annotations
 
 from collections import deque
+from types import GeneratorType
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.am.bulk import BulkRecvState, BulkSendOp, packets_in_chunk
@@ -121,6 +122,16 @@ class SPAM:
         self._keepalive_backoff = 1.0
         #: network time attributed by the Split-C profiler
         self.net_time_accum = 0.0
+        # hot-path caches: the two fixed poll charges are yielded as shared
+        # Delay instances (the engine only reads ``duration``), and the
+        # per-message counters are resolved to Counter objects once instead
+        # of going through the registry dict on every packet
+        self._poll_empty_delay = Delay(self.host.poll_empty)
+        self._poll_pkt_delay = Delay(self.host.poll_per_packet)
+        self._save_retx_delay = Delay(self.costs.save_retransmit)
+        self._c_requests_sent = self.stats.counter("requests_sent")
+        self._c_replies_sent = self.stats.counter("replies_sent")
+        self._c_handlers_run = self.stats.counter("handlers_run")
         node.am = self
 
     # ------------------------------------------------------------------
@@ -194,7 +205,9 @@ class SPAM:
         """
         if self._in_handler:
             raise HandlerRestrictionError("am_poll may not be called from a handler")
-        yield from self.node.compute(self.host.poll_empty)
+        # inlined node.compute(poll_empty): no generator frame per poll
+        self.node.cpu_busy_us += self._poll_empty_delay.duration
+        yield self._poll_empty_delay
         return (yield from self._drain(limit))
 
     def wait_op(self, op: BulkSendOp):
@@ -246,19 +259,22 @@ class SPAM:
         if self._obs is not None:
             self._obs.begin_message(pkt, self.sim.now)
         # build + flush the FIFO entry, then the length-array PIO
-        yield from self.node.compute(
-            c.req_fixed + c.per_word * (len(args) - 1)
-            + flush_cost(pkt.wire_bytes, self.host) + self.host.mc_pio
-        )
+        # (inlined node.compute: one generator frame less per request)
+        node = self.node
+        cost = (c.req_fixed + c.per_word * (len(args) - 1)
+                + flush_cost(pkt.wire_bytes, self.host) + self.host.mc_pio)
+        node.cpu_busy_us += cost
+        yield Delay(cost)
         seq = win.allocate(1)
         self._note_occupancy(win)
         pkt.seq = seq
         self._stamp_acks(pkt, peer)
         self.adapter.host_stage(pkt)
         self.adapter.host_arm()
-        yield from self.node.compute(c.save_retransmit)
+        node.cpu_busy_us += c.save_retransmit
+        yield self._save_retx_delay
         win.save(seq, [pkt])
-        self.stats.count("requests_sent")
+        self._c_requests_sent.value += 1
         # "each call to am_request checks the network" (§1.1)
         yield from self.poll()
 
@@ -291,17 +307,20 @@ class SPAM:
             # (deferred replies: when the draining poll emits them)
             self._obs.begin_message(
                 pkt, self.sim.now if t_begin is None else t_begin)
-        yield from self.node.compute(
-            flush_cost(pkt.wire_bytes, self.host) + self.host.mc_pio
-        )
+        # inlined node.compute (hot reply path)
+        node = self.node
+        cost = flush_cost(pkt.wire_bytes, self.host) + self.host.mc_pio
+        node.cpu_busy_us += cost
+        yield Delay(cost)
         pkt.seq = win.allocate(1)
         self._note_occupancy(win)
         self._stamp_acks(pkt, peer)
         self.adapter.host_stage(pkt)
         self.adapter.host_arm()
-        yield from self.node.compute(c.save_retransmit)
+        node.cpu_busy_us += c.save_retransmit
+        yield self._save_retx_delay
         win.save(pkt.seq, [pkt])
-        self.stats.count("replies_sent")
+        self._c_replies_sent.value += 1
 
     def _stamp_acks(self, pkt: Packet, peer: _PeerState) -> None:
         """Piggyback cumulative acks for both channels (§2.2)."""
@@ -446,11 +465,14 @@ class SPAM:
     def _drain(self, limit: Optional[int] = None):
         """Consume arrived packets + perform flow-control duties."""
         handled = 0
-        while self.adapter.host_recv_available() > 0:
+        node = self.node
+        pkt_delay = self._poll_pkt_delay
+        while self.adapter.recv_fifo.visible:
             if limit is not None and handled >= limit:
                 break
             pkt = self.adapter.host_recv_consume()
-            yield from self.node.compute(self.host.poll_per_packet)
+            node.cpu_busy_us += pkt_delay.duration
+            yield pkt_delay
             yield from self._process(pkt)
             handled += 1
             if self.adapter.host_recv_should_pop():
@@ -467,7 +489,33 @@ class SPAM:
         self._apply_acks(pkt)
         kind = pkt.kind
         if kind in (PacketKind.REQUEST, PacketKind.REPLY):
-            yield from self._process_small(pkt)
+            # _process_small + _dispatch + run_handler, flattened: this is
+            # the dominant receive path and every nested ``yield from``
+            # frame is traversed again on each of the handler's yields
+            rwin = self._peer(pkt.src).recv[pkt.channel]
+            verdict, _unit = rwin.accept(pkt)
+            if verdict == "deliver":
+                fn = self.handlers.lookup(pkt.handler)
+                token = ReplyToken(self, pkt.src)
+                obs = self._obs
+                t0 = self.sim.now
+                if obs is not None:
+                    obs.mark_packet(pkt, "handler_start", t0)
+                self._in_handler = True
+                try:
+                    result = fn(token, *pkt.args)
+                    if type(result) is GeneratorType:
+                        yield from result
+                finally:
+                    self._in_handler = False
+                if obs is not None:
+                    obs.mark_packet(pkt, "handler_end", self.sim.now)
+                    obs.hist("am.handler_us").observe(self.sim.now - t0)
+                self._c_handlers_run.value += 1
+            elif verdict == "duplicate":
+                self.stats.count("duplicates_dropped")
+            elif verdict == "nack":
+                yield from self._send_nack(pkt.src, rwin)
         elif kind in (PacketKind.STORE_DATA, PacketKind.GET_DATA):
             yield from self._process_bulk(pkt)
         elif kind == PacketKind.GET_REQUEST:
@@ -484,18 +532,24 @@ class SPAM:
             raise AssertionError(f"unhandled packet kind {kind}")
 
     def _apply_acks(self, pkt: Packet):
-        if pkt.ack_req < 0 and pkt.ack_rep < 0:
+        # unrolled over the two channels: this runs for every packet
+        ack_req = pkt.ack_req
+        ack_rep = pkt.ack_rep
+        if ack_req < 0 and ack_rep < 0:
             return
         peer = self._peer(pkt.src)
-        for channel, ack in ((REQUEST_CHANNEL, pkt.ack_req),
-                             (REPLY_CHANNEL, pkt.ack_rep)):
-            if ack < 0:
-                continue
-            win = peer.send[channel]
-            if ack > win.base:
-                win.on_ack(ack)
+        if ack_req >= 0:
+            win = peer.send[REQUEST_CHANNEL]
+            if ack_req > win.base:
+                win.on_ack(ack_req)
                 self._keepalive_backoff = 1.0
-                self._complete_units(peer, channel, ack)
+                self._complete_units(peer, REQUEST_CHANNEL, ack_req)
+        if ack_rep >= 0:
+            win = peer.send[REPLY_CHANNEL]
+            if ack_rep > win.base:
+                win.on_ack(ack_rep)
+                self._keepalive_backoff = 1.0
+                self._complete_units(peer, REPLY_CHANNEL, ack_rep)
 
     def _complete_units(self, peer: _PeerState, channel: int, ack: int):
         pending = peer.pending_units[channel]
@@ -512,35 +566,6 @@ class SPAM:
         if op.completion_fn is not None:
             op.completion_fn(op)
         self.stats.count("bulk_ops_completed")
-
-    def _process_small(self, pkt: Packet):
-        channel = pkt.channel
-        peer = self._peer(pkt.src)
-        rwin = peer.recv[channel]
-        verdict, unit = rwin.accept(pkt)
-        if verdict == "deliver":
-            yield from self._dispatch(pkt)
-        elif verdict == "duplicate":
-            self.stats.count("duplicates_dropped")
-        elif verdict == "nack":
-            yield from self._send_nack(pkt.src, rwin)
-
-    def _dispatch(self, pkt: Packet):
-        fn = self.handlers.lookup(pkt.handler)
-        token = ReplyToken(self, pkt.src)
-        obs = self._obs
-        t0 = self.sim.now
-        if obs is not None:
-            obs.mark_packet(pkt, "handler_start", t0)
-        self._in_handler = True
-        try:
-            yield from run_handler(fn, token, *pkt.args)
-        finally:
-            self._in_handler = False
-        if obs is not None:
-            obs.mark_packet(pkt, "handler_end", self.sim.now)
-            obs.hist("am.handler_us").observe(self.sim.now - t0)
-        self.stats.count("handlers_run")
 
     def _process_bulk(self, pkt: Packet):
         channel = pkt.channel
@@ -714,9 +739,12 @@ class SPAM:
             self._deferred_replies.popleft()
             yield from self._emit_reply(dst, hid, args)
         for dst, peer in self._peers.items():
-            for ch in (REQUEST_CHANNEL, REPLY_CHANNEL):
-                if peer.recv[ch].explicit_ack_due:
-                    yield from self._send_ack(dst)
+            # open-coded explicit_ack_due, once per channel (hot loop)
+            r_req, r_rep = peer.recv
+            if r_req.unacked_count >= r_req.ack_threshold:
+                yield from self._send_ack(dst)
+            if r_rep.unacked_count >= r_rep.ack_threshold:
+                yield from self._send_ack(dst)
         yield from self._check_stalled_assemblies()
         if self._sendable_ops_dirty:
             self._sendable_ops_dirty = False
@@ -739,9 +767,9 @@ class SPAM:
         """
         threshold = self.costs.assembly_stall_timeout
         for dst, peer in self._peers.items():
-            for ch in (REQUEST_CHANNEL, REPLY_CHANNEL):
-                rwin = peer.recv[ch]
-                if (not rwin.has_partial_assembly
+            for rwin in peer.recv:
+                # open-coded has_partial_assembly (hot loop)
+                if (rwin._assembly is None
                         or rwin.assembly_progress_t is None):
                     continue
                 now = self.sim.now
@@ -755,12 +783,11 @@ class SPAM:
     def _stall_wait_cap(self) -> Optional[float]:
         """How long _wait_progress may sleep before the stalled-assembly
         watchdog must run again (None when no assembly is partial)."""
-        cap = None
         for peer in self._peers.values():
-            for rwin in peer.recv:
-                if rwin.has_partial_assembly:
-                    cap = self.costs.assembly_stall_timeout
-        return cap
+            r_req, r_rep = peer.recv
+            if r_req._assembly is not None or r_rep._assembly is not None:
+                return self.costs.assembly_stall_timeout
+        return None
 
     def _send_keepalives(self):
         sent = 0
@@ -774,7 +801,7 @@ class SPAM:
         """Blocked on credit / acks / completion: service the network; if
         idle, sleep until the next arrival (equivalent in simulated time
         to the paper's poll spinning) with a keep-alive timeout."""
-        if self.adapter.host_recv_available() == 0:
+        if not self.adapter.recv_fifo.visible:
             if self.adapter.recv_fifo.pending_pop > 0:
                 # going idle: return consumed receive-FIFO slots to the
                 # adapter even below the lazy-pop batch, so a near-full
@@ -798,4 +825,8 @@ class SPAM:
                 yield from self._send_keepalives()
                 self._keepalive_backoff = min(self._keepalive_backoff * 2,
                                               64.0)
-        yield from self.poll()
+        # inlined poll() (blocked software never runs inside a handler):
+        # empty-poll charge + drain without the extra generator frame
+        self.node.cpu_busy_us += self._poll_empty_delay.duration
+        yield self._poll_empty_delay
+        yield from self._drain()

@@ -17,7 +17,7 @@ generators with ``yield from``.
 
 from __future__ import annotations
 
-import inspect
+from types import GeneratorType
 from typing import Any, Callable, Dict, List, Optional
 
 
@@ -58,6 +58,6 @@ def run_handler(fn: Callable, *args: Any):
     ``yield from``.  Returns the handler's return value.
     """
     result = fn(*args)
-    if inspect.isgenerator(result):
+    if type(result) is GeneratorType:
         result = yield from result
     return result

@@ -54,6 +54,11 @@ class TB2Adapter:
         )
         self.switch = None  # set by Machine
         self.stats = StatRegistry(f"tb2[{node_id}].")
+        # per-packet counters resolved once (hot path)
+        self._c_tx_staged = self.stats.counter("tx_staged")
+        self._c_tx_packets = self.stats.counter("tx_packets")
+        self._c_tx_bytes = self.stats.counter("tx_bytes")
+        self._c_rx_packets = self.stats.counter("rx_packets")
         #: observability hub (set by Observatory.attach; None = untraced)
         self.obs = None
         #: optional :class:`~repro.faults.injector.FaultInjector` (set by
@@ -72,6 +77,11 @@ class TB2Adapter:
         #: exit time (tracing: ``tx`` events)
         self._departure_listeners: List[Callable[[Packet, float], None]] = []
         self._arrival_event: Optional[Event] = None
+        # precomputed once: arrival_event() runs per blocked-wait cycle
+        self._arrival_event_name = f"tb2[{node_id}].arrival"
+        # bound once: these are scheduled per packet
+        self._tx_service_cb = self._tx_service
+        self._deliver_cb = self._deliver
 
     # ------------------------------------------------------------------
     # Host-facing API (costs are charged by the calling software layer)
@@ -89,7 +99,7 @@ class TB2Adapter:
         """
         packet.checksum = packet.compute_checksum()
         self.send_fifo.stage(packet)
-        self.stats.count("tx_staged")
+        self._c_tx_staged.value += 1
         if self.obs is not None:
             self.obs.packet_staged(packet, self.sim.now)
 
@@ -99,7 +109,7 @@ class TB2Adapter:
         armed = self.send_fifo.arm(count)
         if armed and not self._tx_scheduled:
             self._tx_scheduled = True
-            self.sim.schedule(self.params.length_scan, self._tx_service)
+            self.sim.schedule(self.params.length_scan, self._tx_service_cb)
         return armed
 
     def host_recv_peek(self) -> Optional[Packet]:
@@ -146,7 +156,7 @@ class TB2Adapter:
         because nothing else runs on the node's CPU meanwhile.
         """
         if self._arrival_event is None or self._arrival_event.triggered:
-            self._arrival_event = self.sim.event(f"tb2[{self.node_id}].arrival")
+            self._arrival_event = self.sim.event(self._arrival_event_name)
         return self._arrival_event
 
     # ------------------------------------------------------------------
@@ -173,8 +183,8 @@ class TB2Adapter:
                 latency += stall
                 self.stats.count("tx_stalled_fault")
         self._tx_free = start + occupancy
-        self.stats.count("tx_packets")
-        self.stats.count("tx_bytes", pkt.wire_bytes)
+        self._c_tx_packets.value += 1
+        self._c_tx_bytes.value += pkt.wire_bytes
         if self.obs is not None:
             span = self.obs.mark_packet(pkt, "dma_start", start)
             if span is not None and "wire_exit" in span.marks:
@@ -185,7 +195,7 @@ class TB2Adapter:
         self.switch.inject(pkt, start + latency)
         if self.send_fifo.armed_count > 0:
             delay = max(0.0, self._tx_free - self.sim.now)
-            self.sim.schedule(delay, self._tx_service)
+            self.sim.schedule(delay, self._tx_service_cb)
         else:
             self._tx_scheduled = False
 
@@ -218,10 +228,10 @@ class TB2Adapter:
         start = max(self.sim.now, self._rx_free)
         self._rx_free = start + max(dma, p.i860_rx_occupancy)
         visible_at = start + dma + p.i860_rx_latency
-        self.stats.count("rx_packets")
+        self._c_rx_packets.value += 1
         if self.obs is not None:
             self.obs.mark_packet(packet, "visible", visible_at)
-        self.sim.at(visible_at, self._deliver, packet)
+        self.sim.at(visible_at, self._deliver_cb, packet)
 
     def _deliver(self, packet: Packet) -> None:
         self.recv_fifo.deliver(packet)

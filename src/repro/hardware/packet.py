@@ -14,11 +14,18 @@ each packet").
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from enum import IntEnum
+from struct import Struct
 from typing import Optional, Tuple
 
 from repro.hardware.params import PACKET_HEADER_BYTES, PACKET_PAYLOAD_BYTES
+
+#: one packer per argument count (0-4 word args): 13 header fields + args,
+#: each a little-endian signed 64-bit int — the exact byte stream the
+#: original per-field ``int.to_bytes(8, "little", signed=True)`` loop fed
+#: to the CRC, so stamped checksums are unchanged
+_CRC_PACKERS = tuple(Struct(f"<{13 + n}q").pack for n in range(5))
 
 
 class PacketKind(IntEnum):
@@ -108,26 +115,25 @@ class Packet:
             )
         if len(self.args) > 4:
             raise ValueError("AM packets carry at most four word arguments")
-
-    @property
-    def wire_bytes(self) -> int:
-        """Bytes actually transferred for this packet (header + payload +
-        4 bytes per word argument)."""
-        return self.header_bytes + len(self.payload) + 4 * len(self.args)
-
-    @property
-    def is_sequenced(self) -> bool:
-        return self.kind in SEQUENCED_KINDS
+        # wire size and sequencing never change after staging (the corrupt
+        # fault flips payload bytes but preserves length), so both are
+        # computed once here instead of per property access on the hot path
+        self.wire_bytes = (
+            self.header_bytes + len(self.payload) + 4 * len(self.args)
+        )
+        self.is_sequenced = self.kind in SEQUENCED_KINDS
 
     def compute_checksum(self) -> int:
         """CRC32 over every field the receiver acts on (the TB2 CRC)."""
-        h = zlib.crc32(self.payload)
-        for v in (int(self.kind), self.src, self.dst, self.seq,
-                  self.channel, self.handler, self.addr, self.offset,
-                  self.total_len, self.chunk_packets, self.op_token,
-                  self.ack_req, self.ack_rep, *self.args):
-            h = zlib.crc32(int(v).to_bytes(8, "little", signed=True), h)
-        return h
+        return zlib.crc32(
+            _CRC_PACKERS[len(self.args)](
+                int(self.kind), self.src, self.dst, self.seq,
+                self.channel, self.handler, self.addr, self.offset,
+                self.total_len, self.chunk_packets, self.op_token,
+                self.ack_req, self.ack_rep, *self.args,
+            ),
+            zlib.crc32(self.payload),
+        )
 
     def checksum_ok(self) -> bool:
         """Whether the stamped checksum still matches the contents
@@ -144,7 +150,9 @@ class Packet:
         and shared; ``trace_id`` is kept so every copy lands on the same
         observability span.
         """
-        return replace(self)
+        new = object.__new__(Packet)
+        new.__dict__.update(self.__dict__)
+        return new
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         extra = f" +{len(self.payload)}B@{self.offset}" if self.payload else ""

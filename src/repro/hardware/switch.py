@@ -32,6 +32,8 @@ class Switch:
         #: when each destination's output link next frees up
         self._dest_link_free: Dict[int, float] = {}
         self.stats = StatRegistry("switch.")
+        # per-packet counter resolved once (hot path)
+        self._c_packets_routed = self.stats.counter("packets_routed")
         #: observability hub (set by Observatory.attach; None = untraced)
         self.obs = None
         #: optional hook: return True to drop this packet in the fabric
@@ -59,7 +61,7 @@ class Switch:
         queueing."""
         if packet.dst not in self._adapters:
             raise KeyError(f"packet addressed to unattached node {packet.dst}")
-        self.stats.count("packets_routed")
+        self._c_packets_routed.value += 1
         if self.fault_injector is not None and self.fault_injector(packet):
             self.stats.count("packets_dropped_fault")
             if self.obs is not None:
@@ -103,8 +105,16 @@ class Switch:
                 span.queued_us += queueing
         self.sim.at(deliver_at, self._adapters[packet.dst].on_wire_arrival, packet)
         if duplicate is not None:
-            # the fabric's stray copy trails the original by the rule's delay
-            self.sim.at(deliver_at + max(dup_delay, wire_time),
+            # The fabric's stray copy trails the original by the rule's
+            # delay, but it still occupies the destination link for its own
+            # wire time — otherwise the duplicate overlaps the next
+            # packet's serialization and the link briefly carries two
+            # packets at once.
+            dup_start = max(self._dest_link_free[duplicate.dst],
+                            start + dup_delay)
+            self._dest_link_free[duplicate.dst] = dup_start + wire_time
+            self.stats.count("dup_link_charged")
+            self.sim.at(dup_start + p.latency + reorder_hold,
                         self._adapters[duplicate.dst].on_wire_arrival,
                         duplicate)
 

@@ -24,10 +24,22 @@ from repro.obs.span import STAGES, MessageSpan
 class Observatory:
     """Collects message spans, histograms, phase spans, and stat registries."""
 
-    def __init__(self, span_limit: int = 200_000):
+    def __init__(self, span_limit: int = 200_000, sample_every: int = 1):
         #: trace_id -> span, in creation order
         self.spans: Dict[int, MessageSpan] = {}
         self.span_limit = span_limit
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        #: span sampling: open a lifecycle span for 1 message in N (the
+        #: first of every N).  Unsampled packets are stamped with trace_id
+        #: -1, so every later hook short-circuits on the span-table miss.
+        #: N > 1 trades span completeness for tracing overhead — fault
+        #: reconciliation (``repro.faults.soak``) needs N == 1.
+        self.sample_every = sample_every
+        self._sample_tick = 0
+        #: messages skipped by sampling (distinct from ``dropped_spans``,
+        #: which counts the span-limit safety valve)
+        self.sampled_out = 0
         self.dropped_spans = 0
         self.histograms: Dict[str, Histogram] = {}
         #: (node, track, name, t0, t1) — e.g. Split-C compute phases
@@ -91,11 +103,21 @@ class Observatory:
         """Open a span for ``pkt`` at time ``t`` and stamp its trace id.
 
         Idempotent: a packet that already carries a trace id keeps its
-        span (retransmissions re-enter the TX path with the same id).
+        span (retransmissions re-enter the TX path with the same id);
+        sampled-out packets carry trace_id -1 and stay span-less.
         """
         tid = getattr(pkt, "trace_id", 0)
         if tid:
             return self.spans.get(tid)
+        if self.sample_every > 1:
+            self._sample_tick += 1
+            if self._sample_tick % self.sample_every != 1:
+                try:
+                    pkt.trace_id = -1
+                except AttributeError:
+                    pass
+                self.sampled_out += 1
+                return None
         if len(self.spans) >= self.span_limit:
             self.dropped_spans += 1
             return None
@@ -217,6 +239,8 @@ class Observatory:
             "spans": {
                 "recorded": len(self.spans),
                 "dropped": self.dropped_spans,
+                "sampled_out": self.sampled_out,
+                "sample_every": self.sample_every,
             },
             "fault_events": len(self.fault_events),
         }

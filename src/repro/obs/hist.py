@@ -18,17 +18,28 @@ import math
 from typing import Dict, List, Optional, Sequence
 
 
-def percentile(values: Sequence[float], p: float) -> float:
-    """Nearest-rank percentile of ``values`` (``p`` in [0, 100])."""
-    if not values:
+def percentile_sorted(vs: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile of an **already sorted** sequence.
+
+    The single selection implementation: both :func:`percentile` and
+    :meth:`Histogram.percentile` delegate here, so the nearest-rank rule
+    cannot drift between them.
+    """
+    if not vs:
         raise ValueError("percentile of an empty sequence")
     if not 0.0 <= p <= 100.0:
         raise ValueError(f"percentile {p} outside [0, 100]")
-    vs = sorted(values)
     if p == 0.0:
         return vs[0]
     k = math.ceil(p / 100.0 * len(vs)) - 1
     return vs[min(max(k, 0), len(vs) - 1)]
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile of ``values`` (``p`` in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    return percentile_sorted(sorted(values), p)
 
 
 class Histogram:
@@ -72,13 +83,7 @@ class Histogram:
 
     def percentile(self, p: float) -> float:
         self._require_data()
-        if not 0.0 <= p <= 100.0:
-            raise ValueError(f"percentile {p} outside [0, 100]")
-        vs = self._ordered()
-        if p == 0.0:
-            return vs[0]
-        k = math.ceil(p / 100.0 * len(vs)) - 1
-        return vs[min(max(k, 0), len(vs) - 1)]
+        return percentile_sorted(self._ordered(), p)
 
     def _require_data(self) -> None:
         if not self._values:

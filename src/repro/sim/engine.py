@@ -1,18 +1,101 @@
-"""The event loop: a binary-heap event queue and a simulated clock.
+"""The event loop: a timing-wheel event core with a simulated clock.
 
 Time is a float measured in **microseconds** — the natural unit for this
 paper, whose primitive costs range from 0.13 µs (MSMU gap) to 88 µs (MPL
 round trip).  Ties are broken by insertion order so the simulation is fully
 deterministic.
+
+The paper's whole argument is that per-message *software* overhead is what
+limits communication performance (§3); the simulator applies the same
+creed to its own hot path.  Two schedulers implement one contract:
+
+* ``wheel`` (the default) — a timing-wheel fast lane for the dominant
+  µs-scale events (MicroChannel DMA steps, MSMU gaps, wire serialization):
+  the wheel's *active window* — the slot the clock currently turns through
+  — is one sorted list; events landing inside it are placed by
+  ``bisect.insort`` and consumed by advancing a cursor, so the common
+  schedule→run path is two C-level list operations with no heap traffic.
+  Far-future timers (keep-alive probes, second-scale protocol timeouts)
+  overflow into a heap that is consulted only when the window turns over;
+  draining it in heap order yields the next window already sorted.
+* ``heap`` — the original single binary heap, kept verbatim as the
+  differential-testing reference: both schedulers must execute the same
+  events in exactly the same order (``tests/sim/test_timer_wheel.py``
+  checks this property over randomized schedule/cancel sequences, and
+  ``spam-bench perf`` checks it over the real protocol workloads).
+
+Timers are cancellable: :meth:`Simulator.call_later` returns a
+:class:`TimerHandle` whose ``cancel()`` is O(1) — it bumps the handle's
+generation and tombstones the queue entry in place; the scheduler skips
+tombstoned entries on pop without executing or counting them.  This is
+what keeps ``Timeout`` yields (the AM keep-alive backoff, MPL's
+second-scale receive timeouts) from churning the queue with stale wakeups.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from bisect import insort
+from heapq import heappop, heappush
+from typing import Any, Callable, List, Optional
 
 from repro.sim.errors import DeadlockError, SimTimeoutError
 from repro.sim.primitives import Event
+
+#: absolute value (µs) below which a negative delay is treated as
+#: accumulated float error and clamped to "now" rather than rejected.
+#: ``Switch.inject`` sums serialization starts and wire times per hop;
+#: after thousands of packets the sum can land an epsilon behind
+#: ``sim.now`` even though the intent is "deliver immediately".
+NEGATIVE_DELAY_EPSILON = 1e-9
+
+
+class TimerHandle:
+    """A cancellable scheduled callback (returned by ``call_later``).
+
+    Cancellation is *lazy*: ``cancel()`` bumps the handle's generation and
+    tombstones the live queue entry in place (O(1), no heap surgery); the
+    scheduler discards the entry when it eventually reaches the front of
+    the queue, without executing it or counting it as an event.  A handle
+    may be rescheduled after firing or cancelling — each new entry carries
+    the next generation, so at most one entry is ever live per handle.
+    """
+
+    __slots__ = ("_sim", "_entry", "gen")
+
+    def __init__(self, sim: "Simulator"):
+        self._sim = sim
+        self._entry: Optional[list] = None
+        #: generation stamp; bumped on every cancel/fire so stale queue
+        #: entries (earlier generations) can never fire this handle again
+        self.gen = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether the timer is scheduled and will still fire."""
+        e = self._entry
+        return e is not None and e[2] is not None
+
+    def cancel(self) -> bool:
+        """Cancel the pending firing; returns True if one was pending."""
+        e = self._entry
+        if e is None or e[2] is None:
+            return False
+        e[2] = None        # tombstone: skipped (uncounted) on pop
+        e[3] = ()          # drop callback-arg references immediately
+        self._entry = None
+        self.gen += 1
+        self._sim._stale_pending += 1
+        return True
+
+    def _fire(self, fn: Callable[..., None], args: tuple) -> None:
+        # the entry just popped is this handle's live one: retire it
+        self._entry = None
+        self.gen += 1
+        fn(*args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "active" if self.active else "idle"
+        return f"TimerHandle(gen={self.gen}, {state})"
 
 
 class Simulator:
@@ -22,6 +105,8 @@ class Simulator:
 
         sim = Simulator()
         sim.schedule(5.0, callback, arg)          # plain event
+        h = sim.call_later(400.0, on_timeout)      # cancellable timer
+        h.cancel()
         proc = sim.spawn(my_generator(...))        # coroutine process
         sim.run()                                  # drain the queue
         print(sim.now)
@@ -30,28 +115,83 @@ class Simulator:
     while spawned processes are still blocked on events, a
     :class:`DeadlockError` is raised — silent hangs in protocol code become
     loud test failures.
+
+    :param scheduler: ``"wheel"`` (timing-wheel fast lane, the default) or
+        ``"heap"`` (pure binary heap, the differential-testing reference).
+        Both execute identical event orders.
+    :param wheel_window_us: width of the wheel's active window; events
+        within the window are ordered exactly by (time, insertion seq), so
+        this is a throughput knob only, never a correctness one.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        scheduler: str = "wheel",
+        wheel_window_us: float = 64.0,
+    ) -> None:
+        if scheduler not in ("wheel", "heap"):
+            raise ValueError(f"unknown scheduler {scheduler!r}")
+        if wheel_window_us <= 0.0:
+            raise ValueError("wheel_window_us must be positive")
+        self.scheduler = scheduler
         self.now: float = 0.0
-        self._queue: List[Tuple[float, int, Callable[..., None], tuple]] = []
         self._seq = 0
         self._live_processes = 0
         self._blocked_processes = 0
+        #: monotonically bumped every time a process finishes; lets run
+        #: loops re-evaluate "are my processes done?" only when the answer
+        #: can have changed instead of per event
+        self._finish_stamp = 0
         self.events_executed = 0
+        #: tombstoned (cancelled) entries discarded at the queue front
+        self.stale_events_skipped = 0
+        #: cancelled entries still buried in the queue
+        self._stale_pending = 0
+        # -- heap scheduler state
+        self._queue: List[list] = []
+        # -- wheel scheduler state
+        self._window_us = wheel_window_us
+        self._window_end = wheel_window_us  # first window covers [0, W)
+        self._cur_list: List[list] = []  # sorted entries of active window
+        self._cur_idx = 0                # consume cursor into _cur_list
+        self._far: List[list] = []       # heap of entries past the window
 
     # -- scheduling -------------------------------------------------------
 
-    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
-        """Run ``fn(*args)`` after ``delay`` microseconds of simulated time."""
-        if delay < 0:
-            raise ValueError(f"cannot schedule in the past (delay={delay})")
-        self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, fn, args))
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> list:
+        """Run ``fn(*args)`` after ``delay`` microseconds of simulated time.
 
-    def at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
+        Returns the queue entry (an engine-internal list); treat it as
+        opaque.  Use :meth:`call_later` when you need to cancel.
+        """
+        if delay < 0.0:
+            if delay < -NEGATIVE_DELAY_EPSILON:
+                raise ValueError(f"cannot schedule in the past (delay={delay})")
+            delay = 0.0  # accumulated float error, not intent
+        self._seq += 1
+        when = self.now + delay
+        entry = [when, self._seq, fn, args]
+        if self.scheduler == "wheel":
+            if when < self._window_end:
+                # inside the active window: exact (time, seq) position
+                # past the consume cursor — two C-level list operations
+                insort(self._cur_list, entry, self._cur_idx)
+            else:
+                heappush(self._far, entry)
+        else:
+            heappush(self._queue, entry)
+        return entry
+
+    def at(self, when: float, fn: Callable[..., None], *args: Any) -> list:
         """Run ``fn(*args)`` at absolute simulated time ``when``."""
-        self.schedule(when - self.now, fn, *args)
+        return self.schedule(when - self.now, fn, *args)
+
+    def call_later(self, delay: float, fn: Callable[..., None],
+                   *args: Any) -> TimerHandle:
+        """Schedule a cancellable timer; returns its :class:`TimerHandle`."""
+        handle = TimerHandle(self)
+        handle._entry = self.schedule(delay, handle._fire, fn, args)
+        return handle
 
     def event(self, name: str = "") -> Event:
         """Create a new one-shot :class:`Event` bound to this simulator."""
@@ -64,12 +204,55 @@ class Simulator:
 
     def _process_finished(self) -> None:
         self._live_processes -= 1
+        self._finish_stamp += 1
 
     def _process_blocked(self) -> None:
         self._blocked_processes += 1
 
     def _process_unblocked(self) -> None:
         self._blocked_processes -= 1
+
+    # -- queue internals --------------------------------------------------
+
+    def _advance(self) -> Optional[list]:
+        """Wheel: turn to the next window.  Points the cursor at the
+        globally next entry and returns it, or None when the queue is
+        empty.  Does not consume and never executes anything, so it is
+        safe to call as a peek."""
+        if self._cur_idx < len(self._cur_list):
+            return self._cur_list[self._cur_idx]
+        far = self._far
+        if not far:
+            return None
+        # next window starts at the earliest far timer; draining the heap
+        # in pop order yields the window's entries already sorted
+        w_end = far[0][0] + self._window_us
+        entries = [heappop(far)]
+        while far and far[0][0] < w_end:
+            entries.append(heappop(far))
+        self._window_end = w_end
+        self._cur_list = entries
+        self._cur_idx = 0
+        return entries[0]
+
+    def _peek(self) -> Optional[list]:
+        """The next queue entry without consuming it (either scheduler)."""
+        if self.scheduler == "wheel":
+            return self._advance()
+        return self._queue[0] if self._queue else None
+
+    def _consume(self, entry: list) -> None:
+        """Remove the entry returned by :meth:`_peek` from the queue."""
+        if self.scheduler == "wheel":
+            self._cur_idx += 1
+        else:
+            heappop(self._queue)
+
+    def _pending_count(self) -> int:
+        """Live + tombstoned entries still queued (debug/repr)."""
+        if self.scheduler == "wheel":
+            return len(self._cur_list) - self._cur_idx + len(self._far)
+        return len(self._queue)
 
     # -- running ----------------------------------------------------------
 
@@ -80,14 +263,28 @@ class Simulator:
         return Process(self, gen, name=name)
 
     def step(self) -> bool:
-        """Execute one event.  Returns False when the queue is empty."""
-        if not self._queue:
-            return False
-        when, _seq, fn, args = heapq.heappop(self._queue)
-        self.now = when
-        self.events_executed += 1
-        fn(*args)
-        return True
+        """Execute one live event.  Returns False when the queue is empty.
+
+        Tombstoned (cancelled) entries are discarded without executing;
+        they neither count as the step nor appear in ``last_event``.
+        """
+        while True:
+            entry = self._peek()
+            if entry is None:
+                return False
+            self._consume(entry)
+            fn = entry[2]
+            if fn is None:
+                self.stale_events_skipped += 1
+                self._stale_pending -= 1
+                continue
+            self.now = entry[0]
+            self.events_executed += 1
+            #: (when, seq, callback) of the event just executed — feeds
+            #: the event-order digests of the differential tests
+            self.last_event = (entry[0], entry[1], fn)
+            fn(*entry[3])
+            return True
 
     def run(
         self,
@@ -105,17 +302,47 @@ class Simulator:
         :returns: the final simulated time.
         """
         executed = 0
-        while self._queue:
-            when = self._queue[0][0]
+        wheel = self.scheduler == "wheel"
+        queue = self._queue
+        while True:
+            # inline peek: the current-slot fast path avoids a method call
+            # per event (this loop is the simulator's hottest code)
+            if wheel:
+                i = self._cur_idx
+                cur = self._cur_list
+                if i < len(cur):
+                    entry = cur[i]
+                else:
+                    entry = self._advance()
+                    if entry is None:
+                        break
+                    i = 0
+                    cur = self._cur_list
+            else:
+                if not queue:
+                    break
+                entry = queue[0]
+            when = entry[0]
             if until is not None and when > until:
                 self.now = until
                 return self.now
+            if wheel:
+                self._cur_idx = i + 1
+            else:
+                heappop(queue)
+            fn = entry[2]
+            if fn is None:
+                self.stale_events_skipped += 1
+                self._stale_pending -= 1
+                continue
             if max_events is not None and executed >= max_events:
                 raise SimTimeoutError(
                     f"exceeded max_events={max_events} at t={self.now:.3f}us"
                 )
-            self.step()
+            self.now = when
+            self.events_executed += 1
             executed += 1
+            fn(*entry[3])
         if check_deadlock and self._blocked_processes > 0:
             raise DeadlockError(
                 f"event queue drained at t={self.now:.3f}us with "
@@ -133,16 +360,51 @@ class Simulator:
         programs complete.
         """
         executed = 0
-        while self._queue and not all(p.finished for p in procs):
-            if self._queue[0][0] > limit:
+        wheel = self.scheduler == "wheel"
+        queue = self._queue
+        # re-check "all done?" only when a process actually finished —
+        # the stamp compare is one int per event instead of a scan
+        seen_stamp = -1
+        while True:
+            if seen_stamp != self._finish_stamp:
+                seen_stamp = self._finish_stamp
+                if all(p.finished for p in procs):
+                    return self.now
+            if wheel:
+                i = self._cur_idx
+                cur = self._cur_list
+                if i < len(cur):
+                    entry = cur[i]
+                else:
+                    entry = self._advance()
+                    if entry is None:
+                        break
+                    i = 0
+                    cur = self._cur_list
+            else:
+                if not queue:
+                    break
+                entry = queue[0]
+            if entry[0] > limit:
                 raise SimTimeoutError(
                     f"simulated time limit {limit}us exceeded; "
                     f"{sum(not p.finished for p in procs)} process(es) unfinished"
                 )
+            if wheel:
+                self._cur_idx = i + 1
+            else:
+                heappop(queue)
+            fn = entry[2]
+            if fn is None:
+                self.stale_events_skipped += 1
+                self._stale_pending -= 1
+                continue
             if max_events is not None and executed >= max_events:
                 raise SimTimeoutError(f"exceeded max_events={max_events}")
-            self.step()
+            self.now = entry[0]
+            self.events_executed += 1
             executed += 1
+            fn(*entry[3])
         unfinished = [p for p in procs if not p.finished]
         if unfinished:
             raise DeadlockError(
@@ -153,6 +415,7 @@ class Simulator:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
-            f"Simulator(t={self.now:.3f}us, queued={len(self._queue)}, "
+            f"Simulator(t={self.now:.3f}us, {self.scheduler}, "
+            f"queued={self._pending_count()}, "
             f"live={self._live_processes}, blocked={self._blocked_processes})"
         )

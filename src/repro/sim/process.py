@@ -25,7 +25,8 @@ from repro.sim.primitives import TIMED_OUT, Delay, Event, Timeout, WaitEvent
 class Process:
     """A generator registered with a :class:`~repro.sim.engine.Simulator`."""
 
-    __slots__ = ("sim", "gen", "name", "done", "finished", "result", "error", "_waiting")
+    __slots__ = ("sim", "gen", "name", "done", "finished", "result", "error",
+                 "_waiting", "_send", "_resume")
 
     def __init__(self, sim, gen: Generator, name: str = ""):
         self.sim = sim
@@ -36,9 +37,13 @@ class Process:
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self._waiting = False
+        # bound once: _step runs per event, and every schedule/add_waiter
+        # callback would otherwise rebuild the bound method
+        self._send = gen.send
+        self._resume = self._step
         sim._process_started()
         # First step at the current instant, after already-queued events.
-        sim.schedule(0.0, self._step, None)
+        sim.schedule(0.0, self._resume, None)
 
     # -- engine-facing ----------------------------------------------------
 
@@ -49,22 +54,34 @@ class Process:
             self._waiting = False
             self.sim._process_unblocked()
         try:
-            instr = self.gen.send(send_value)
+            instr = self._send(send_value)
         except StopIteration as stop:
             self._finish(stop.value, None)
             return
         except Exception as exc:  # propagate with context, fail loudly
             self._finish(None, exc)
             raise
-        self._dispatch(instr)
+        # dispatch, most frequent instruction first
+        cls = instr.__class__
+        if cls is Delay:
+            self.sim.schedule(instr.duration, self._resume, None)
+        elif cls is WaitEvent:
+            self._waiting = True
+            self.sim._process_blocked()
+            instr.event.add_waiter(self._resume)
+        elif cls is Timeout:
+            self._wait_with_timeout(instr)
+        else:
+            self._dispatch_slow(instr)
 
-    def _dispatch(self, instr: Any) -> None:
+    def _dispatch_slow(self, instr: Any) -> None:
+        # duck-typed instruction objects (tests/extensions) still work
         if isinstance(instr, Delay):
-            self.sim.schedule(instr.duration, self._step, None)
+            self.sim.schedule(instr.duration, self._resume, None)
         elif isinstance(instr, WaitEvent):
             self._waiting = True
             self.sim._process_blocked()
-            instr.event.add_waiter(self._step)
+            instr.event.add_waiter(self._resume)
         elif isinstance(instr, Timeout):
             self._wait_with_timeout(instr)
         else:
@@ -78,15 +95,19 @@ class Process:
         self._waiting = True
         self.sim._process_blocked()
         fired = [False]
+        handle: list = [None]
 
         def resume(value: Any) -> None:
             if fired[0]:
                 return
             fired[0] = True
+            if value is not TIMED_OUT:
+                # event won the race: the timer must never fire
+                handle[0].cancel()
             self._step(value)
 
         instr.event.add_waiter(resume)
-        self.sim.schedule(instr.duration, resume, TIMED_OUT)
+        handle[0] = self.sim.call_later(instr.duration, resume, TIMED_OUT)
 
     def kill(self) -> None:
         """Terminate the process: ``ProcessKilled`` is raised inside the

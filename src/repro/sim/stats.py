@@ -106,7 +106,11 @@ class StatRegistry:
         return s
 
     def count(self, name: str, n: int = 1) -> None:
-        self.counter(name).add(n)
+        # hot path: open-coded counter() + add() (called per packet)
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(self.prefix + name)
+        c.value += n
 
     def get(self, name: str) -> int:
         """Current value of a counter (0 if never touched)."""

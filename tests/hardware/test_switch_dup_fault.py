@@ -1,0 +1,103 @@
+"""Regression: a fabric-duplicated packet must occupy the destination link.
+
+The duplicate-fault path used to schedule the stray copy's delivery
+without charging its wire time to ``_dest_link_free`` — the link briefly
+carried two packets at once, and packets behind the duplicate arrived
+one serialization too early.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.hardware.packet import Packet, PacketKind
+from repro.hardware.params import machine_params
+from repro.hardware.switch import Switch
+from repro.sim import Simulator
+
+
+class _RecordingAdapter:
+    """Stands in for a TB2Adapter on the receive side."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.arrivals = []
+
+    def on_wire_arrival(self, packet):
+        self.arrivals.append((self.sim.now, packet))
+
+
+class _DuplicateOnce:
+    """Duck-typed FaultInjector: duplicate the first packet seen."""
+
+    def __init__(self, delay_us=0.0):
+        self.delay_us = delay_us
+        self.done = False
+
+    def at_switch(self, packet, now):
+        if self.done:
+            return None
+        self.done = True
+        return SimpleNamespace(kind="duplicate", packet=packet.clone(),
+                               delay_us=self.delay_us)
+
+    def at_rx(self, packet, now):  # pragma: no cover - not exercised
+        return False
+
+
+def _full_packet(seq=0):
+    return Packet(src=0, dst=1, kind=PacketKind.STORE_DATA, seq=seq,
+                  payload=b"d" * 224)
+
+
+def _setup(faults=None):
+    sim = Simulator()
+    params = machine_params("sp-thin").switch
+    sw = Switch(sim, params)
+    rx = _RecordingAdapter(sim)
+    sw.attach(0, _RecordingAdapter(sim))
+    sw.attach(1, rx)
+    sw.faults = faults
+    return sim, sw, rx, params
+
+
+def test_duplicate_charges_dest_link_wire_time():
+    sim, sw, rx, params = _setup(_DuplicateOnce())
+    wire_time = _full_packet().wire_bytes / params.link_rate
+
+    sw.inject(_full_packet(seq=0), wire_exit_time=0.0)
+    # original serializes at [0, wire); the stray copy must hold the link
+    # for its own wire time right behind it
+    assert sw._dest_link_free[1] == pytest.approx(2 * wire_time)
+    assert sw.stats.get("dup_link_charged") == 1
+
+    # a packet converging right behind the pair queues behind BOTH copies
+    sw.inject(_full_packet(seq=1), wire_exit_time=0.0)
+    assert sw._dest_link_free[1] == pytest.approx(3 * wire_time)
+    assert sw.stats.get("dest_link_queued") == 1
+
+    sim.run()
+    times = sorted(t for t, _ in rx.arrivals)
+    assert len(times) == 3  # original + duplicate + follower
+    # follower delivered only after the duplicate's serialization slot
+    assert times[2] == pytest.approx(2 * wire_time + params.latency)
+
+
+def test_duplicate_with_delay_starts_no_earlier_than_its_hold():
+    sim, sw, rx, params = _setup(_DuplicateOnce(delay_us=50.0))
+    wire_time = _full_packet().wire_bytes / params.link_rate
+
+    sw.inject(_full_packet(seq=0), wire_exit_time=0.0)
+    # the stray copy trails by the rule's delay, then serializes
+    assert sw._dest_link_free[1] == pytest.approx(50.0 + wire_time)
+    sim.run()
+    times = sorted(t for t, _ in rx.arrivals)
+    assert times[1] == pytest.approx(50.0 + params.latency)
+
+
+def test_no_fault_leaves_link_accounting_unchanged():
+    sim, sw, rx, params = _setup(faults=None)
+    wire_time = _full_packet().wire_bytes / params.link_rate
+    sw.inject(_full_packet(seq=0), wire_exit_time=0.0)
+    assert sw._dest_link_free[1] == pytest.approx(wire_time)
+    assert sw.stats.get("dup_link_charged") == 0

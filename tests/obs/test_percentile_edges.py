@@ -1,0 +1,61 @@
+"""Regression: one nearest-rank rule for every percentile query.
+
+``Histogram.percentile`` used to carry its own selection arithmetic next
+to the module-level :func:`repro.obs.hist.percentile`; both now delegate
+to :func:`percentile_sorted`, and these edge cases pin the shared rule.
+"""
+
+import pytest
+
+from repro.obs.hist import Histogram, percentile, percentile_sorted
+
+
+class TestEdgeCases:
+    def test_p0_is_min_and_p100_is_max(self):
+        vs = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(vs, 0) == 1.0
+        assert percentile(vs, 100) == 9.0
+
+    def test_single_sample_answers_every_p(self):
+        for p in (0, 1, 50, 99, 100):
+            assert percentile([7.25], p) == 7.25
+
+    def test_nearest_rank_on_small_sets(self):
+        vs = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(vs, 25) == 10.0   # ceil(.25*4)=1 -> first
+        assert percentile(vs, 26) == 20.0
+        assert percentile(vs, 50) == 20.0
+        assert percentile(vs, 75) == 30.0
+        assert percentile(vs, 76) == 40.0
+
+    def test_out_of_range_p_rejected(self):
+        for p in (-0.1, 100.1):
+            with pytest.raises(ValueError):
+                percentile([1.0], p)
+            with pytest.raises(ValueError):
+                percentile_sorted([1.0], p)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile_sorted([], 50)
+
+
+class TestHistogramDelegation:
+    def test_histogram_matches_module_function_exactly(self):
+        h = Histogram("t")
+        vs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        for v in vs:
+            h.observe(v)
+        for p in (0, 10, 25, 50, 75, 90, 95, 99, 100):
+            assert h.percentile(p) == percentile(vs, p)
+
+    def test_histogram_single_sample(self):
+        h = Histogram("one")
+        h.observe(42.0)
+        assert h.percentile(0) == h.percentile(100) == 42.0
+
+    def test_histogram_empty_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("empty").percentile(50)

@@ -1,0 +1,69 @@
+"""Span sampling: 1-in-N lifecycle tracing (``Observatory(sample_every=N)``).
+
+Unsampled packets are stamped ``trace_id = -1`` so every later hook
+(``mark_packet``, ``packet_dropped``) short-circuits on the span-table
+miss — the per-packet tracing cost for a sampled-out message is one dict
+miss, not a span allocation.
+"""
+
+import pytest
+
+from repro.hardware.packet import Packet, PacketKind
+from repro.obs import Observatory
+
+
+def _pkt(seq=0):
+    return Packet(src=0, dst=1, kind=PacketKind.REQUEST, seq=seq)
+
+
+def test_default_samples_every_message():
+    obs = Observatory()
+    spans = [obs.begin_message(_pkt(i), float(i)) for i in range(5)]
+    assert all(s is not None for s in spans)
+    assert obs.sampled_out == 0
+
+
+def test_one_in_n_sampling_keeps_first_of_every_n():
+    obs = Observatory(sample_every=3)
+    spans = [obs.begin_message(_pkt(i), float(i)) for i in range(9)]
+    kept = [s is not None for s in spans]
+    assert kept == [True, False, False] * 3
+    assert len(obs.spans) == 3
+    assert obs.sampled_out == 6
+
+
+def test_sampled_out_packet_short_circuits_later_hooks():
+    obs = Observatory(sample_every=2)
+    traced, skipped = _pkt(0), _pkt(1)
+    assert obs.begin_message(traced, 0.0) is not None
+    assert obs.begin_message(skipped, 1.0) is None
+    assert skipped.trace_id == -1
+    # later hooks are span-table misses, never new spans
+    assert obs.mark_packet(skipped, "visible", 2.0) is None
+    obs.packet_dropped(skipped, "overflow")
+    assert len(obs.spans) == 1
+    # and a second begin (retransmission path) stays sampled-out without
+    # advancing the sampling clock
+    assert obs.begin_message(skipped, 3.0) is None
+    assert obs.sampled_out == 1
+
+
+def test_traced_packet_keeps_span_across_retransmission():
+    obs = Observatory(sample_every=2)
+    pkt = _pkt(0)
+    span = obs.begin_message(pkt, 0.0)
+    assert obs.begin_message(pkt, 5.0) is span  # idempotent re-begin
+
+
+def test_snapshot_reports_sampling():
+    obs = Observatory(sample_every=4)
+    for i in range(8):
+        obs.begin_message(_pkt(i), float(i))
+    snap = obs.snapshot()
+    assert snap["spans"]["sample_every"] == 4
+    assert snap["spans"]["sampled_out"] == 6
+
+
+def test_invalid_sample_every_rejected():
+    with pytest.raises(ValueError):
+        Observatory(sample_every=0)

@@ -1,0 +1,238 @@
+"""Differential + cancellation tests for the timing-wheel event core.
+
+The ``wheel`` scheduler is pure optimization: it must execute exactly
+the events the reference ``heap`` scheduler executes, at the same
+simulated times, in the same order — including under cancellation and
+with events landing on, inside, and far beyond the active window.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.engine import NEGATIVE_DELAY_EPSILON, TimerHandle
+from repro.sim.errors import DeadlockError
+from repro.sim.primitives import TIMED_OUT, Delay, Timeout
+
+
+# ---------------------------------------------------------------------------
+# differential property: wheel == heap over randomized schedule/cancel
+# ---------------------------------------------------------------------------
+
+# delays straddle the default 64 us window: sub-window, exactly on the
+# boundary, just past it, and far beyond
+_DELAY_MENU = (0.0, 0.13, 1.0, 7.5, 63.9, 64.0, 64.1, 200.0, 5_000.0)
+
+
+def _run_random_workload(scheduler, seed, window_us=64.0, spawn_cap=2_000):
+    """Self-similar random workload: callbacks schedule more callbacks
+    and randomly cancel pending timers.  Decisions are drawn from a
+    seeded RNG in execution order, so two schedulers draw identical
+    decisions iff they execute identical event orders — any divergence
+    snowballs into a log mismatch."""
+    sim = Simulator(scheduler=scheduler, wheel_window_us=window_us)
+    rng = random.Random(seed)
+    log = []
+    handles = []
+    next_tag = [0]
+
+    def cb(tag):
+        log.append((sim.now, tag))
+        if next_tag[0] < spawn_cap:
+            for _ in range(rng.randrange(3)):
+                next_tag[0] += 1
+                delay = rng.choice(_DELAY_MENU) + rng.random() * 3.0
+                if rng.random() < 0.3:
+                    handles.append(sim.call_later(delay, cb, next_tag[0]))
+                else:
+                    sim.schedule(delay, cb, next_tag[0])
+        if handles and rng.random() < 0.25:
+            handles.pop(rng.randrange(len(handles))).cancel()
+
+    for _ in range(20):
+        next_tag[0] += 1
+        sim.schedule(rng.choice(_DELAY_MENU), cb, next_tag[0])
+    sim.run()
+    return sim, log
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42, 1234])
+def test_wheel_matches_heap_on_random_schedule_cancel(seed):
+    heap_sim, heap_log = _run_random_workload("heap", seed)
+    wheel_sim, wheel_log = _run_random_workload("wheel", seed)
+    assert wheel_log == heap_log
+    assert wheel_sim.now == heap_sim.now
+    assert wheel_sim.events_executed == heap_sim.events_executed
+    assert wheel_sim.stale_events_skipped == heap_sim.stale_events_skipped
+
+
+@pytest.mark.parametrize("window_us", [0.5, 1.0, 16.0, 64.0, 1e9])
+def test_wheel_window_width_is_not_a_correctness_knob(window_us):
+    # any window width must give the heap's exact execution order
+    _, heap_log = _run_random_workload("heap", 99)
+    _, wheel_log = _run_random_workload("wheel", 99, window_us=window_us)
+    assert wheel_log == heap_log
+
+
+def test_same_time_events_run_in_insertion_order_across_window_refills():
+    # events at one instant, scheduled before and after a window turn,
+    # must still run in global insertion order
+    sim = Simulator(scheduler="wheel", wheel_window_us=10.0)
+    log = []
+    sim.schedule(500.0, log.append, "first")
+    sim.schedule(500.0, log.append, "second")
+    sim.schedule(200.0, lambda: sim.schedule(300.0, log.append, "third"))
+    sim.run()
+    assert log == ["first", "second", "third"]
+    assert sim.now == 500.0
+
+
+# ---------------------------------------------------------------------------
+# cancellable timers
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("scheduler", ["wheel", "heap"])
+class TestTimerCancellation:
+    def test_cancelled_timer_never_fires_and_is_not_counted(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        fired = []
+        h = sim.call_later(10.0, fired.append, "boom")
+        sim.schedule(20.0, lambda: None)  # keep the queue non-empty past 10
+        assert h.active
+        assert h.cancel()
+        assert not h.active
+        assert not h.cancel()  # second cancel is a no-op
+        sim.run()
+        assert fired == []
+        # the tombstone was skipped, not executed: only the keep-alive
+        # event counts, and the skip is visible in its own counter
+        assert sim.events_executed == 1
+        assert sim.stale_events_skipped == 1
+
+    def test_cancel_after_fire_is_a_noop(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        fired = []
+        h = sim.call_later(5.0, fired.append, "x")
+        sim.run()
+        assert fired == ["x"]
+        assert not h.active
+        assert not h.cancel()
+
+    def test_generation_bumps_on_cancel_and_fire(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        h1 = sim.call_later(1.0, lambda: None)
+        g0 = h1.gen
+        h1.cancel()
+        assert h1.gen == g0 + 1
+        h2 = sim.call_later(1.0, lambda: None)
+        g1 = h2.gen
+        sim.run()
+        assert h2.gen == g1 + 1
+
+    def test_stale_timeout_wakeup_never_fires(self, scheduler):
+        # A process blocks on Timeout(event, duration); the event wins the
+        # race.  The loser timer must be discarded as a tombstone — it may
+        # not re-resume the process, and it may not count as an event.
+        sim = Simulator(scheduler=scheduler)
+        ev = sim.event("ack")
+        outcomes = []
+
+        def waiter():
+            value = yield Timeout(ev, 1_000.0)
+            outcomes.append(value)
+            # keep living past the stale timer's deadline: a buggy wakeup
+            # would resume the generator here and append a second outcome
+            yield Delay(2_000.0)
+
+        sim.spawn(waiter(), name="waiter")
+        sim.schedule(5.0, ev.succeed, "acked")
+        sim.run()
+        assert outcomes == ["acked"]
+        assert sim.stale_events_skipped == 1
+        assert sim.now == 2_005.0
+
+    def test_timeout_path_still_fires_without_event(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        ev = sim.event("never")
+        outcomes = []
+
+        def waiter():
+            value = yield Timeout(ev, 50.0)
+            outcomes.append(value is TIMED_OUT)
+
+        sim.spawn(waiter(), name="waiter")
+        sim.run()
+        assert outcomes == [True]
+        assert sim.now == 50.0
+
+
+def test_timer_handle_is_opaque_but_reprs():
+    sim = Simulator()
+    h = sim.call_later(1.0, lambda: None)
+    assert isinstance(h, TimerHandle)
+    assert "active" in repr(h)
+    h.cancel()
+    assert "idle" in repr(h)
+
+
+# ---------------------------------------------------------------------------
+# negative-delay epsilon clamp (float-error regression)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("scheduler", ["wheel", "heap"])
+class TestNegativeDelayClamp:
+    def test_epsilon_negative_delay_clamps_to_now(self, scheduler):
+        # Switch.inject's per-hop float sums can land an epsilon behind
+        # sim.now; that must schedule "immediately", not raise
+        sim = Simulator(scheduler=scheduler)
+        fired = []
+        sim.schedule(-1e-10, fired.append, "ok")
+        sim.run()
+        assert fired == ["ok"]
+        assert sim.now == 0.0
+
+    def test_at_epsilon_in_the_past_clamps(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        fired = []
+
+        def late():
+            # an absolute timestamp an epsilon before the current instant
+            sim.at(sim.now - 1e-12, fired.append, "ok")
+
+        sim.schedule(5.0, late)
+        sim.run()
+        assert fired == ["ok"]
+        assert sim.now == 5.0
+
+    def test_real_past_scheduling_still_raises(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        with pytest.raises(ValueError):
+            sim.schedule(-1e-6, lambda: None)
+        with pytest.raises(ValueError):
+            sim.at(-1.0, lambda: None)
+        assert -1e-6 < -NEGATIVE_DELAY_EPSILON  # the clamp is truly tiny
+
+
+# ---------------------------------------------------------------------------
+# engine contract smoke (wheel scheduler)
+# ---------------------------------------------------------------------------
+
+def test_wheel_deadlock_detection_still_works():
+    from repro.sim.primitives import WaitEvent
+
+    sim = Simulator(scheduler="wheel")
+
+    def blocked():
+        yield WaitEvent(sim.event("forever"))
+
+    sim.spawn(blocked(), name="blocked")
+    with pytest.raises(DeadlockError):
+        sim.run()
+
+
+def test_invalid_scheduler_and_window_rejected():
+    with pytest.raises(ValueError):
+        Simulator(scheduler="calendar")
+    with pytest.raises(ValueError):
+        Simulator(wheel_window_us=0.0)

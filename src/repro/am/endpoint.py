@@ -122,6 +122,9 @@ class SPAM:
         self._keepalive_backoff = 1.0
         #: network time attributed by the Split-C profiler
         self.net_time_accum = 0.0
+        #: invariant sanitizer (repro.check), None when unchecked; set by
+        #: Sanitizer.attach so freshly created peer windows get checkers
+        self.check = None
         # hot-path caches: the two fixed poll charges are yielded as shared
         # Delay instances (the engine only reads ``duration``), and the
         # per-message counters are resolved to Counter objects once instead
@@ -223,6 +226,8 @@ class SPAM:
         st = self._peers.get(dst)
         if st is None:
             st = self._peers[dst] = _PeerState()
+            if self.check is not None:
+                self.check.adopt_peer(self, dst, st)
         return st
 
     @property

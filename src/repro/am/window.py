@@ -47,6 +47,8 @@ class SendWindow:
         #: seq -> packets saved for retransmission (one entry per transfer
         #: unit: a single packet or a whole chunk)
         self._saved: Dict[int, List[Packet]] = {}
+        #: window-invariant checker (repro.check), None when unchecked
+        self.check = None
 
     @property
     def in_flight(self) -> int:
@@ -65,6 +67,8 @@ class SendWindow:
             )
         seq = self.next_seq
         self.next_seq += npackets
+        if self.check is not None:
+            self.check.on_allocate(self, seq, npackets)
         return seq
 
     def save(self, seq: int, packets: List[Packet]) -> None:
@@ -76,6 +80,8 @@ class SendWindow:
         re-stamps acknowledgements.
         """
         self._saved[seq] = [p.clone() for p in packets]
+        if self.check is not None:
+            self.check.on_save(self, seq, len(packets))
 
     def on_ack(self, ack: int) -> int:
         """Cumulative ack: all seq < ack received.  Returns packets freed.
@@ -87,6 +93,10 @@ class SendWindow:
         """
         if ack <= self.base:
             return 0
+        if self.check is not None:
+            # before the structural guards, so a violating ack is named
+            # by the checker rather than surfacing as a bare exception
+            self.check.on_ack(self, ack)
         if ack > self.next_seq:
             raise AckBeyondWindowError(
                 f"ack {ack} beyond next_seq {self.next_seq} (corrupt peer?)"
@@ -168,6 +178,8 @@ class RecvWindow:
         #: when the last stalled-assembly NACK went out (rate limiting;
         #: re-arms if the NACK itself is lost)
         self.stall_nack_t: float = float("-inf")
+        #: delivery-order checker (repro.check), None when unchecked
+        self.check = None
 
     @property
     def has_partial_assembly(self) -> bool:
@@ -192,6 +204,8 @@ class RecvWindow:
             self.expected += 1
             self.unacked_count += 1
             self.nack_outstanding = False
+            if self.check is not None:
+                self.check.on_deliver(self, pkt.seq, 1)
             return "deliver", [pkt]
         if self._assembly is None:
             self._assembly = _ChunkAssembly(pkt.chunk_packets)
@@ -205,6 +219,8 @@ class RecvWindow:
             self.expected += pkt.chunk_packets
             self.unacked_count += pkt.chunk_packets
             self.nack_outstanding = False
+            if self.check is not None:
+                self.check.on_deliver(self, pkt.seq, pkt.chunk_packets)
             return "deliver", done.packets
         return "partial", None
 

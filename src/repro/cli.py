@@ -16,6 +16,9 @@ Usage::
     spam-bench perf [--quick] [--check BENCH_simperf.json]
                                         # simulator events/sec + wheel-vs-heap
                                         # determinism/regression gate
+    spam-bench check --seeds 20 [--loss 0.01] [--shrink]
+                                        # randomized conformance campaigns
+                                        # under the invariant sanitizer
 
 Table-style experiments also leave a machine-readable
 ``BENCH_<experiment>.json`` report next to the ASCII table (suppress with
@@ -266,6 +269,55 @@ def cmd_soak(args) -> int:
     return 1 if result.violations else 0
 
 
+def cmd_check(args) -> int:
+    from repro.check import run_campaign, shrink_failure
+
+    failures = []
+    results = []
+    for k in range(args.seeds):
+        seed = args.seed_base + k
+        # every third campaign runs under packet loss so the sanitizer
+        # also sees the retransmission/go-back-N paths
+        loss = args.loss if k % 3 == 2 else 0.0
+        r = run_campaign(seed, nodes=args.nodes, nops=args.ops, loss=loss)
+        results.append(r)
+        print(r.summary())
+        for v in r.violations:
+            print(f"  violation: {v}")
+        if not r.ok:
+            failures.append(r)
+            if args.shrink:
+                s = shrink_failure(seed, nodes=args.nodes, nops=args.ops,
+                                   loss=loss)
+                if s.reproduced:
+                    print(f"  shrunk to {len(s.minimal)}/{s.original_nops} "
+                          f"ops in {s.runs} runs:")
+                    for op in s.minimal:
+                        print(f"    {op}")
+                else:
+                    print("  (failure did not reproduce during shrinking)")
+    total_checks = sum(sum(r.checks.values()) for r in results)
+    print(f"{len(results)} campaigns, {len(failures)} failing, "
+          f"{total_checks} invariant checks")
+    entries = [
+        ("campaigns", None, float(len(results))),
+        ("failing campaigns", None, float(len(failures))),
+        ("invariant checks", None, float(total_checks)),
+        ("delivered units", None,
+         float(sum(r.delivered_units for r in results))),
+    ]
+    _write_report(args, "check", entries, extra={
+        "seed_base": args.seed_base, "seeds": args.seeds,
+        "nodes": args.nodes, "ops": args.ops, "loss": args.loss,
+        "campaigns": [{
+            "seed": r.seed, "loss": r.loss, "ok": r.ok,
+            "checks": r.checks, "delivered_units": r.delivered_units,
+            "digest": r.digest, "violations": r.violations,
+        } for r in results],
+    })
+    return 1 if failures else 0
+
+
 def cmd_perf(args) -> int:
     from repro.bench.perf import check_regression, report_entries, run_perf
 
@@ -459,6 +511,23 @@ def main(argv=None) -> int:
     ps.add_argument("--trace-out", metavar="FILE", default=None,
                     help="dump the message-span trace (JSONL)")
     _add_report_opts(ps)
+    pc = sub.add_parser(
+        "check", help="seeded randomized MPI/AM campaigns under the "
+                      "protocol invariant sanitizer")
+    pc.add_argument("--seeds", type=_positive_int, default=20,
+                    help="number of campaigns (default 20)")
+    pc.add_argument("--seed-base", type=int, default=100,
+                    help="first campaign seed (default 100)")
+    pc.add_argument("--nodes", type=_positive_int, default=4)
+    pc.add_argument("--ops", type=_positive_int, default=24,
+                    help="random ops per campaign")
+    pc.add_argument("--loss", type=float, default=0.01,
+                    help="packet-loss rate applied to every third "
+                         "campaign (default 0.01)")
+    pc.add_argument("--shrink", action="store_true",
+                    help="minimize any failing campaign to its smallest "
+                         "failing op list")
+    _add_report_opts(pc)
     args = parser.parse_args(argv)
 
     if args.cmd in (None, "list"):
@@ -470,6 +539,8 @@ def main(argv=None) -> int:
         return cmd_soak(args)
     if args.cmd == "perf":
         return cmd_perf(args)
+    if args.cmd == "check":
+        return cmd_check(args)
     dispatch = {
         "roundtrip": cmd_roundtrip,
         "table2": cmd_table2,

@@ -193,6 +193,10 @@ class _Campaign:
 
     def _quiesced(self) -> bool:
         """Global drain predicate: nothing anywhere awaits recovery."""
+        if self.machine.switch.in_flight > 0:
+            # the fabric still holds traffic no FIFO shows yet; a rank
+            # exiting its drain loop now would strand the arrival unread
+            return False
         for am in self.ams:
             if am._active_sends or am._deferred_replies:
                 return False
@@ -200,6 +204,9 @@ class _Campaign:
                 return False
             if am.adapter.send_fifo.occupied > 0:
                 return False
+            rf = am.adapter.recv_fifo
+            if rf.occupied != len(rf.visible) + rf.pending_pop:
+                return False  # a packet is mid-RX-DMA
             for peer in am._peers.values():
                 if any(w.has_unacked for w in peer.send):
                     return False

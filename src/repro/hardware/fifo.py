@@ -31,6 +31,8 @@ class SendFIFO:
         self.entries = entries
         self._staged: Deque[Packet] = deque()  # written, not yet armed
         self._armed: Deque[Packet] = deque()   # length slot set, awaiting TX
+        #: slot-conservation checker (repro.check), None when unchecked
+        self.check = None
 
     @property
     def occupied(self) -> int:
@@ -53,21 +55,30 @@ class SendFIFO:
         if self.free_entries <= 0:
             raise OverflowError("send FIFO full; caller must back off first")
         self._staged.append(packet)
+        if self.check is not None:
+            self.check.on_stage(self)
 
     def arm(self, count: Optional[int] = None) -> int:
         """Set length-array slots for the next ``count`` staged packets
         (all of them if None).  Returns how many were armed.  The caller
         charges one MicroChannel PIO for the whole batch."""
+        if count is not None and count < 0:
+            raise ValueError(f"cannot arm a negative packet count ({count})")
         n = len(self._staged) if count is None else min(count, len(self._staged))
         for _ in range(n):
             self._armed.append(self._staged.popleft())
+        if self.check is not None:
+            self.check.on_arm(self, n)
         return n
 
     def take_armed(self) -> Optional[Packet]:
         """Adapter side: consume the next armed packet (frees its entry)."""
         if not self._armed:
             return None
-        return self._armed.popleft()
+        pkt = self._armed.popleft()
+        if self.check is not None:
+            self.check.on_take(self)
+        return pkt
 
 
 class RecvFIFO:
@@ -87,6 +98,8 @@ class RecvFIFO:
         self.visible: Deque[Packet] = deque()
         #: consumed by the host but not yet popped back to the adapter
         self.pending_pop = 0
+        #: slot-conservation checker (repro.check), None when unchecked
+        self.check = None
 
     @property
     def free_slots(self) -> int:
@@ -97,11 +110,15 @@ class RecvFIFO:
         if self.occupied >= self.capacity:
             return False
         self.occupied += 1
+        if self.check is not None:
+            self.check.on_reserve(self)
         return True
 
     def deliver(self, packet: Packet) -> None:
         """Adapter side, at RX-DMA completion: make the packet host-visible."""
         self.visible.append(packet)
+        if self.check is not None:
+            self.check.on_deliver(self)
 
     def peek(self) -> Optional[Packet]:
         return self.visible[0] if self.visible else None
@@ -115,7 +132,10 @@ class RecvFIFO:
         if not self.visible:
             raise IndexError("receive FIFO empty")
         self.pending_pop += 1
-        return self.visible.popleft()
+        pkt = self.visible.popleft()
+        if self.check is not None:
+            self.check.on_consume(self)
+        return pkt
 
     @property
     def has_pending_pop(self) -> bool:
@@ -141,4 +161,6 @@ class RecvFIFO:
         self.occupied -= freed
         if self.occupied < 0:
             raise AssertionError("receive FIFO accounting went negative")
+        if self.check is not None:
+            self.check.on_pop(self, freed)
         return freed

@@ -43,6 +43,10 @@ class Switch:
         #: independent of ``repro.faults``): richer fabric faults —
         #: drop, duplicate, reorder, corrupt
         self.faults = None
+        #: packets accepted but not yet handed to a destination adapter;
+        #: quiesce predicates need this — a machine is not drained while
+        #: the fabric still holds traffic nobody's FIFO shows yet
+        self.in_flight = 0
 
     def attach(self, node_id: int, adapter: "TB2Adapter") -> None:  # noqa: F821
         if node_id in self._adapters:
@@ -103,7 +107,9 @@ class Switch:
             span = self.obs.mark_packet(packet, "sw_deliver", deliver_at)
             if span is not None:
                 span.queued_us += queueing
-        self.sim.at(deliver_at, self._adapters[packet.dst].on_wire_arrival, packet)
+        self.in_flight += 1
+        self.sim.at(deliver_at, self._hand_off,
+                    self._adapters[packet.dst], packet)
         if duplicate is not None:
             # The fabric's stray copy trails the original by the rule's
             # delay, but it still occupies the destination link for its own
@@ -114,9 +120,14 @@ class Switch:
                             start + dup_delay)
             self._dest_link_free[duplicate.dst] = dup_start + wire_time
             self.stats.count("dup_link_charged")
+            self.in_flight += 1
             self.sim.at(dup_start + p.latency + reorder_hold,
-                        self._adapters[duplicate.dst].on_wire_arrival,
+                        self._hand_off, self._adapters[duplicate.dst],
                         duplicate)
+
+    def _hand_off(self, adapter, packet: Packet) -> None:
+        self.in_flight -= 1
+        adapter.on_wire_arrival(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Switch({self.node_count} nodes)"

@@ -188,6 +188,8 @@ class ADI:
         self._next_token = 1
         #: scratch staging area for sends given as bytes
         self._scratch = node.memory
+        #: request-lifecycle checker (repro.check), None when unchecked
+        self.check = None
         for h in _HANDLERS:
             self.am.register(h)
 
@@ -293,10 +295,15 @@ class ADI:
     def post_recv(self, request: Request):
         """Post a receive; match unexpected traffic first."""
         yield from self.node.compute(self.cfg.recv_fixed)
+        ck = self.check
+        if ck is not None:
+            ck.on_posted(request)
         hit = self._match_unexpected(request)
         if hit is None:
             self.posted.append(request)
             return
+        if ck is not None:
+            ck.on_matched(request)
         if isinstance(hit, _UnexpectedEager):
             yield from self._consume_eager(hit, request)
         else:
@@ -314,7 +321,10 @@ class ADI:
         for i, req in enumerate(self.posted):
             if req.comm.context == context and matches(
                     req.peer, req.tag, src, tag):
-                return self.posted.pop(i)
+                req = self.posted.pop(i)
+                if self.check is not None:
+                    self.check.on_matched(req)
+                return req
         return None
 
     # -- buffered arrivals ---------------------------------------------------

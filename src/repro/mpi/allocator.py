@@ -29,6 +29,8 @@ class FirstFitAllocator:
         self.capacity = capacity
         #: sorted list of (offset, length) free extents
         self._free: List[Tuple[int, int]] = [(0, capacity)]
+        #: conservation checker (repro.check), None when unchecked
+        self.check = None
 
     def alloc(self, nbytes: int) -> Optional[int]:
         """Allocate ``nbytes``; returns the offset or None when full."""
@@ -40,11 +42,17 @@ class FirstFitAllocator:
                     del self._free[i]
                 else:
                     self._free[i] = (off + nbytes, length - nbytes)
+                if self.check is not None:
+                    self.check.on_alloc(self, off, nbytes)
                 return off
         return None
 
     def free(self, offset: int, nbytes: int) -> None:
         """Return an allocation to the region (coalescing)."""
+        if self.check is not None:
+            # before the structural guards, so a bad free is named by the
+            # checker rather than surfacing as a bare ValueError
+            self.check.on_free(self, offset, nbytes)
         if nbytes <= 0:
             raise ValueError("free of non-positive size")
         if offset < 0 or offset + nbytes > self.capacity:
@@ -111,8 +119,18 @@ class BinnedAllocator:
         self._cached_bins: List[int] = []
         #: offsets of bin allocations currently handed out
         self._live_bins: set = set()
+        #: conservation checker (repro.check), None when unchecked; the
+        #: internal arena stays unchecked (its extents are bookkeeping,
+        #: not live allocations — bins would double-count)
+        self.check = None
 
     def alloc(self, nbytes: int) -> Optional[int]:
+        off = self._alloc_impl(nbytes)
+        if off is not None and self.check is not None:
+            self.check.on_alloc(self, off, nbytes)
+        return off
+
+    def _alloc_impl(self, nbytes: int) -> Optional[int]:
         if nbytes <= 0:
             raise ValueError("allocation must be positive")
         if nbytes <= self.bin_size:
@@ -136,6 +154,8 @@ class BinnedAllocator:
             self._arena.free(self._cached_bins.pop(), self.bin_size)
 
     def free(self, offset: int, nbytes: int) -> None:
+        if self.check is not None:
+            self.check.on_free(self, offset, nbytes)
         if offset in self._cached_bins:
             raise ValueError("double free of bin")
         if offset in self._live_bins:

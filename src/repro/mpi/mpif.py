@@ -93,6 +93,8 @@ class MPIFDevice:
         self._send_data: Dict[int, bytes] = {}
         self._pending_data_reqs: Dict[Tuple[int, int], Request] = {}
         self._next_token = 1
+        #: request-lifecycle checker (repro.check), None when unchecked
+        self.check = None
 
     # -- send ------------------------------------------------------------------
 
@@ -117,10 +119,15 @@ class MPIFDevice:
 
     def post_recv(self, request: Request):
         yield from self.node.compute(self.PROTO_RECV)
+        ck = self.check
+        if ck is not None:
+            ck.on_posted(request)
         for i, entry in enumerate(self.unexpected):
             if entry.context == request.comm.context and matches(
                     request.peer, request.tag, entry.src, entry.tag):
                 del self.unexpected[i]
+                if ck is not None:
+                    ck.on_matched(request)
                 if entry.is_rts:
                     yield from self._accept_rts(entry, request)
                 else:
@@ -196,7 +203,10 @@ class MPIFDevice:
         for i, req in enumerate(self.posted):
             if req.comm.context == context and matches(
                     req.peer, req.tag, src, tag):
-                return self.posted.pop(i)
+                req = self.posted.pop(i)
+                if self.check is not None:
+                    self.check.on_matched(req)
+                return req
         return None
 
     def _wait_progress(self):

@@ -41,10 +41,21 @@ class MPIPoint2Point:
         dst_world = comm.world_rank_of(dst)
         addr, nbytes = self._as_addr(buf)
         req = Request("send", comm, dst, tag, nbytes)
+        ck = self.adi.check
+        if ck is not None:
+            ck.on_new(req)
         if dst_world == self.rank:
             data = self.node.memory.read(addr, nbytes) if nbytes else b""
-            self._loopback.append((comm.context, tag, data))
             req.complete()
+            # a matching receive may already be posted; otherwise queue
+            # the message for a future irecv to claim
+            rreq = self.adi._find_posted(self.rank, tag, comm.context)
+            if rreq is not None:
+                if rreq.recv_addr is not None and data:
+                    self.node.memory.write(rreq.recv_addr, data)
+                rreq.complete(data, source=self.rank, tag=tag)
+            else:
+                self._loopback.append((comm.context, tag, data))
             return req
         yield from self.adi.start_send(dst_world, addr, nbytes, tag,
                                        comm.context, req)
@@ -59,18 +70,28 @@ class MPIPoint2Point:
                      else ANY_SOURCE)
         req = Request("recv", comm, src_world, tag, nbytes)
         req.recv_addr = addr
+        ck = self.adi.check
+        if ck is not None:
+            ck.on_new(req)
         # self-delivery first
-        data = self._match_loopback(comm.context, tag)
-        if data is not None:
+        hit = self._match_loopback(comm.context, tag)
+        if hit is not None:
+            mtag, data = hit
             if addr is not None and data:
                 self.node.memory.write(addr, data)
-            req.complete(data, source=comm.rank, tag=tag)
+            # like the ADI paths, the status carries the *world* rank
+            # (communicator-local ranks broke subcommunicator consumers
+            # doing world_ranks.index(status.source))
+            req.complete(data, source=self.rank, tag=mtag)
             return req
         yield from self.adi.post_recv(req)
         return req
 
     def wait(self, req: Request) -> Status:
         """MPI_Wait: block until the request completes."""
+        ck = self.adi.check
+        if ck is not None:
+            ck.on_progress(req)
         while not req.done:
             yield from self.adi._wait_progress()
         yield from self.adi.progress()
@@ -84,11 +105,18 @@ class MPIPoint2Point:
 
     def test(self, req: Request) -> bool:
         """MPI_Test: advance progress; report whether ``req`` is done."""
+        ck = self.adi.check
+        if ck is not None:
+            ck.on_progress(req)
         yield from self.adi.progress()
         return req.done
 
     def testall(self, reqs: Sequence[Request]) -> bool:
         """MPI_Testall: progress once; True if every request is done."""
+        ck = self.adi.check
+        if ck is not None:
+            for r in reqs:
+                ck.on_progress(r)
         yield from self.adi.progress()
         return all(r.done for r in reqs)
 
@@ -97,6 +125,10 @@ class MPIPoint2Point:
         index and status."""
         if not reqs:
             raise ValueError("waitany of an empty request list")
+        ck = self.adi.check
+        if ck is not None:
+            for r in reqs:
+                ck.on_progress(r)
         while True:
             for i, r in enumerate(reqs):
                 if r.done:
@@ -105,6 +137,12 @@ class MPIPoint2Point:
 
     def waitsome(self, reqs: Sequence[Request]):
         """MPI_Waitsome: block until >= 1 completes; returns the indices."""
+        if not reqs:
+            return []  # MPI_Waitsome with incount 0 completes nothing
+        ck = self.adi.check
+        if ck is not None:
+            for r in reqs:
+                ck.on_progress(r)
         while True:
             done = [i for i, r in enumerate(reqs) if r.done]
             if done:
@@ -187,9 +225,11 @@ class MPIPoint2Point:
 
     # -- loopback ----------------------------------------------------------------
 
-    def _match_loopback(self, context: int, tag: int) -> Optional[bytes]:
+    def _match_loopback(self, context: int,
+                        tag: int) -> Optional[Tuple[int, bytes]]:
+        """Claim a queued self-send; returns (matched tag, data)."""
         for i, (ctx, mtag, data) in enumerate(self._loopback):
             if ctx == context and (tag == ANY_TAG or tag == mtag):
                 del self._loopback[i]
-                return data
+                return mtag, data
         return None

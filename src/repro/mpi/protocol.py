@@ -39,6 +39,9 @@ _RTS_MASK = (1 << _RTS_SHIFT) - 1
 
 def pack_rts_len(total_len: int, prefix_len: int) -> int:
     """The rendez-vous request carries total and prefix length in one word."""
+    if total_len < 0 or prefix_len < 0:
+        raise ValueError(
+            f"rts lengths ({total_len}, {prefix_len}) must be non-negative")
     if prefix_len > _RTS_MASK:
         raise ValueError(f"prefix {prefix_len} exceeds 13-bit field")
     return (total_len << _RTS_SHIFT) | prefix_len

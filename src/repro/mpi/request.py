@@ -20,16 +20,24 @@ class Request:
         self.nbytes = nbytes
         self.done = False
         self.cancelled = False
+        #: released via MPI_Request_free; the handle may no longer be
+        #: waited on or tested
+        self.freed = False
         self.status = Status()
         #: received payload (recv requests)
         self.data: Optional[bytes] = None
         #: destination address in node memory (recv requests with placement)
         self.recv_addr: Optional[int] = None
+        #: lifecycle checker (repro.check), None when unchecked
+        self.check = None
         self.id = Request._next_id
         Request._next_id += 1
 
     def complete(self, data: Optional[bytes] = None,
                  source: int = -1, tag: int = -1) -> None:
+        ck = self.check
+        if ck is not None:
+            ck.on_complete(self)
         if self.done:
             raise AssertionError(f"request {self.id} completed twice")
         self.done = True
@@ -40,6 +48,14 @@ class Request:
             self.status.source = source
         if tag >= 0:
             self.status.tag = tag
+
+    def free(self) -> None:
+        """MPI_Request_free: release the handle.  Waiting on or testing a
+        freed request is erroneous (and flagged by ``repro.check``)."""
+        ck = self.check
+        if ck is not None:
+            ck.on_free(self)
+        self.freed = True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "done" if self.done else "pending"

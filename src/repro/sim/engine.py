@@ -85,6 +85,9 @@ class TimerHandle:
         self._entry = None
         self.gen += 1
         self._sim._stale_pending += 1
+        ck = self._sim.check
+        if ck is not None:
+            ck.on_cancel(e)
         return True
 
     def _fire(self, fn: Callable[..., None], args: tuple) -> None:
@@ -155,6 +158,8 @@ class Simulator:
         self._cur_list: List[list] = []  # sorted entries of active window
         self._cur_idx = 0                # consume cursor into _cur_list
         self._far: List[list] = []       # heap of entries past the window
+        #: event-ordering checker (repro.check), None when unchecked
+        self.check = None
 
     # -- scheduling -------------------------------------------------------
 
@@ -268,6 +273,7 @@ class Simulator:
         Tombstoned (cancelled) entries are discarded without executing;
         they neither count as the step nor appear in ``last_event``.
         """
+        check = self.check
         while True:
             entry = self._peek()
             if entry is None:
@@ -277,9 +283,13 @@ class Simulator:
             if fn is None:
                 self.stale_events_skipped += 1
                 self._stale_pending -= 1
+                if check is not None:
+                    check.on_stale(entry)
                 continue
             self.now = entry[0]
             self.events_executed += 1
+            if check is not None:
+                check.on_execute(entry)
             #: (when, seq, callback) of the event just executed — feeds
             #: the event-order digests of the differential tests
             self.last_event = (entry[0], entry[1], fn)
@@ -304,6 +314,7 @@ class Simulator:
         executed = 0
         wheel = self.scheduler == "wheel"
         queue = self._queue
+        check = self.check
         while True:
             # inline peek: the current-slot fast path avoids a method call
             # per event (this loop is the simulator's hottest code)
@@ -334,6 +345,8 @@ class Simulator:
             if fn is None:
                 self.stale_events_skipped += 1
                 self._stale_pending -= 1
+                if check is not None:
+                    check.on_stale(entry)
                 continue
             if max_events is not None and executed >= max_events:
                 raise SimTimeoutError(
@@ -342,6 +355,8 @@ class Simulator:
             self.now = when
             self.events_executed += 1
             executed += 1
+            if check is not None:
+                check.on_execute(entry)
             fn(*entry[3])
         if check_deadlock and self._blocked_processes > 0:
             raise DeadlockError(
@@ -362,6 +377,7 @@ class Simulator:
         executed = 0
         wheel = self.scheduler == "wheel"
         queue = self._queue
+        check = self.check
         # re-check "all done?" only when a process actually finished —
         # the stamp compare is one int per event instead of a scan
         seen_stamp = -1
@@ -398,12 +414,16 @@ class Simulator:
             if fn is None:
                 self.stale_events_skipped += 1
                 self._stale_pending -= 1
+                if check is not None:
+                    check.on_stale(entry)
                 continue
             if max_events is not None and executed >= max_events:
                 raise SimTimeoutError(f"exceeded max_events={max_events}")
             self.now = entry[0]
             self.events_executed += 1
             executed += 1
+            if check is not None:
+                check.on_execute(entry)
             fn(*entry[3])
         unfinished = [p for p in procs if not p.finished]
         if unfinished:

@@ -35,6 +35,13 @@ class TestSendFIFO:
         f.stage(pkt())
         assert f.arm(10) == 1
 
+    def test_arm_negative_count_rejected(self):
+        f = SendFIFO(8)
+        f.stage(pkt())
+        with pytest.raises(ValueError, match="negative packet count"):
+            f.arm(-1)
+        assert f.staged_count == 1  # nothing was consumed
+
     def test_capacity_enforced(self):
         f = SendFIFO(2)
         f.stage(pkt())

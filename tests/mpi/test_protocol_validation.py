@@ -1,0 +1,25 @@
+"""Validation tests for the rendez-vous header packing."""
+
+import pytest
+
+from repro.mpi.protocol import pack_rts_len, unpack_rts_len
+
+
+def test_roundtrip():
+    word = pack_rts_len(20000, 4096)
+    assert unpack_rts_len(word) == (20000, 4096)
+
+
+def test_zero_lengths_are_legal():
+    assert unpack_rts_len(pack_rts_len(0, 0)) == (0, 0)
+
+
+@pytest.mark.parametrize("total,prefix", [(-1, 0), (0, -1), (-5, -5)])
+def test_negative_lengths_rejected(total, prefix):
+    with pytest.raises(ValueError, match="non-negative"):
+        pack_rts_len(total, prefix)
+
+
+def test_oversized_prefix_rejected():
+    with pytest.raises(ValueError, match="13-bit"):
+        pack_rts_len(20000, 1 << 13)

@@ -1,0 +1,84 @@
+"""Regression tests for the MPI wait/status bugs the sanitizer flushed.
+
+* ``waitsome([])`` used to spin forever polling an empty list; MPI says
+  Waitsome with incount 0 completes nothing and returns immediately.
+* Loopback (self) receives stamped the *communicator-local* rank into
+  ``status.source`` while every ADI path stamps the world rank — so
+  subcommunicator consumers doing ``comm.world_ranks.index(st.source)``
+  (e.g. the collectives' gather) blew up or picked the wrong peer
+  whenever local != world rank.
+"""
+
+from repro.mpi.comm import Communicator
+from repro.mpi.status import ANY_SOURCE, ANY_TAG
+
+from .conftest import make_mpi, run_ranks
+
+
+def test_waitsome_empty_list_returns_immediately():
+    m, mpis = make_mpi(2)
+
+    def prog(r):
+        def body():
+            mpi = mpis[r]
+            out = yield from mpi.waitsome([])
+            assert out == []
+            # and the rank is still functional afterwards
+            yield from mpi.barrier()
+        return body()
+
+    run_ranks(m, prog)
+
+
+def test_self_recv_status_carries_world_rank_on_subcomm():
+    # a "rotated" subcommunicator: every member's local rank differs
+    # from its world rank, the layout that exposed the bug
+    m, mpis = make_mpi(2)
+
+    def prog(w):
+        def body():
+            mpi = mpis[w]
+            comm = Communicator([1, 0], w, context=55)
+            local = comm.rank
+            yield from mpi.isend(b"ping", local, tag=3, comm=comm)
+            data, st = yield from mpi.recv(4, src=local, tag=3, comm=comm)
+            assert data == b"ping"
+            assert st.source == w  # world rank, not the local one
+            # the exact consumer that broke: collectives resolve the
+            # sender by world_ranks.index(status.source)
+            assert comm.world_ranks.index(st.source) == local
+        return body()
+
+    run_ranks(m, prog)
+
+
+def test_self_recv_any_tag_reports_matched_tag():
+    m, mpis = make_mpi(2)
+
+    def prog(w):
+        def body():
+            mpi = mpis[w]
+            yield from mpi.isend(b"x", w, tag=7)
+            data, st = yield from mpi.recv(1, src=ANY_SOURCE, tag=ANY_TAG)
+            assert data == b"x"
+            assert st.tag == 7
+            assert st.source == w
+        return body()
+
+    run_ranks(m, prog)
+
+
+def test_posted_recv_matched_by_later_self_send():
+    m, mpis = make_mpi(2)
+
+    def prog(w):
+        def body():
+            mpi = mpis[w]
+            rreq = yield from mpi.irecv(5, src=w, tag=9)
+            yield from mpi.isend(b"hello", w, tag=9)
+            st = yield from mpi.wait(rreq)
+            assert rreq.data == b"hello"
+            assert st.source == w
+        return body()
+
+    run_ranks(m, prog)

@@ -39,6 +39,19 @@ from repro.hardware.packet import Packet, PacketKind
 from repro.sim.primitives import TIMED_OUT, Delay, Timeout
 from repro.sim.stats import StatRegistry
 
+# PacketKind members as module constants: the receive path compares the
+# kind of every arriving packet, and an identity check against a cached
+# global skips the enum attribute lookup per compare
+_REQUEST = PacketKind.REQUEST
+_REPLY = PacketKind.REPLY
+_STORE_DATA = PacketKind.STORE_DATA
+_GET_DATA = PacketKind.GET_DATA
+_GET_REQUEST = PacketKind.GET_REQUEST
+_ACK = PacketKind.ACK
+_NACK = PacketKind.NACK
+_KEEPALIVE = PacketKind.KEEPALIVE
+_RAW = PacketKind.RAW
+
 
 class _PeerState:
     """Everything one endpoint tracks about one remote node."""
@@ -132,9 +145,15 @@ class SPAM:
         self._poll_empty_delay = Delay(self.host.poll_empty)
         self._poll_pkt_delay = Delay(self.host.poll_per_packet)
         self._save_retx_delay = Delay(self.costs.save_retransmit)
+        self._mc_pio_delay = Delay(self.host.mc_pio)
         self._c_requests_sent = self.stats.counter("requests_sent")
         self._c_replies_sent = self.stats.counter("replies_sent")
         self._c_handlers_run = self.stats.counter("handlers_run")
+        # observability objects resolved once per hub (the hub is attached
+        # before traffic starts and never swapped mid-run)
+        self._occ_hist = None
+        self._occ_series = self.stats.series("window_occupancy")
+        self._handler_hist = None
         node.am = self
 
     # ------------------------------------------------------------------
@@ -241,9 +260,11 @@ class SPAM:
         endpoint's registry)."""
         obs = self._obs
         if obs is not None:
-            obs.hist("am.window_occupancy").observe(win.in_flight)
-            self.stats.series("window_occupancy").record(
-                self.sim.now, win.in_flight)
+            h = self._occ_hist
+            if h is None:
+                h = self._occ_hist = obs.hist("am.window_occupancy")
+            h.observe(win.in_flight)
+            self._occ_series.samples.append((self.sim.now, win.in_flight))
 
     def _request(self, dst: int, handler: Callable, args: Tuple[int, ...]):
         if self._in_handler:
@@ -442,22 +463,30 @@ class SPAM:
             self._stamp_acks(pkt, peer)
             packets.append(pkt)
         staged = 0
+        node = self.node
+        adapter = self.adapter
+        host = self.host
+        mc_pio_delay = self._mc_pio_delay
+        per_packet = c.store_per_packet
         for p in packets:
-            yield from self.node.compute(
-                c.store_per_packet + flush_cost(p.wire_bytes, self.host)
-            )
-            while not self.adapter.host_can_stage(1):
+            # inlined node.compute: one generator frame less per packet
+            cost = per_packet + flush_cost(p.wire_bytes, host)
+            node.cpu_busy_us += cost
+            yield Delay(cost)
+            while not adapter.host_can_stage(1):
                 # send-FIFO backpressure: wait for the adapter to drain one
                 # entry (it transmits every ~6.5 us)
                 yield Delay(3.3)
-            self.adapter.host_stage(p)
+            adapter.host_stage(p)
             staged += 1
             if staged % self.ARM_BATCH == 0:
-                yield from self.node.compute(self.host.mc_pio)
-                self.adapter.host_arm()
+                node.cpu_busy_us += host.mc_pio
+                yield mc_pio_delay
+                adapter.host_arm()
         if staged % self.ARM_BATCH:
-            yield from self.node.compute(self.host.mc_pio)
-            self.adapter.host_arm()
+            node.cpu_busy_us += host.mc_pio
+            yield mc_pio_delay
+            adapter.host_arm()
         win.save(seq, packets)
         peer.pending_units[op.channel].append((seq + npk, op, idx))
         self.stats.count("chunks_sent")
@@ -471,33 +500,39 @@ class SPAM:
         """Consume arrived packets + perform flow-control duties."""
         handled = 0
         node = self.node
+        adapter = self.adapter
+        fifo = adapter.recv_fifo
         pkt_delay = self._poll_pkt_delay
-        while self.adapter.recv_fifo.visible:
+        while fifo.visible:
             if limit is not None and handled >= limit:
                 break
-            pkt = self.adapter.host_recv_consume()
+            pkt = adapter.host_recv_consume()
             node.cpu_busy_us += pkt_delay.duration
             yield pkt_delay
             yield from self._process(pkt)
             handled += 1
-            if self.adapter.host_recv_should_pop():
+            if fifo.should_pop():
                 # lazy pop: flush the consumed entries + one PIO (§2.1)
-                batch = self.adapter.recv_fifo.pending_pop
-                yield from self.node.compute(
-                    self.host.mc_pio + flush_cost(batch * 256, self.host)
-                )
-                self.adapter.host_recv_pop_batch()
-        yield from self._do_duties()
+                batch = fifo.pending_pop
+                cost = self.host.mc_pio + flush_cost(batch * 256, self.host)
+                node.cpu_busy_us += cost  # inlined node.compute
+                yield Delay(cost)
+                adapter.host_recv_pop_batch()
+        if self._duties_pending():
+            yield from self._do_duties()
         return handled
 
     def _process(self, pkt: Packet):
         self._apply_acks(pkt)
         kind = pkt.kind
-        if kind in (PacketKind.REQUEST, PacketKind.REPLY):
+        if kind is _REQUEST or kind is _REPLY:
             # _process_small + _dispatch + run_handler, flattened: this is
             # the dominant receive path and every nested ``yield from``
             # frame is traversed again on each of the handler's yields
-            rwin = self._peer(pkt.src).recv[pkt.channel]
+            peer = self._peers.get(pkt.src)  # inlined _peer fast path
+            if peer is None:
+                peer = self._peer(pkt.src)
+            rwin = peer.recv[pkt.channel]
             verdict, _unit = rwin.accept(pkt)
             if verdict == "deliver":
                 fn = self.handlers.lookup(pkt.handler)
@@ -515,23 +550,26 @@ class SPAM:
                     self._in_handler = False
                 if obs is not None:
                     obs.mark_packet(pkt, "handler_end", self.sim.now)
-                    obs.hist("am.handler_us").observe(self.sim.now - t0)
+                    h = self._handler_hist
+                    if h is None:
+                        h = self._handler_hist = obs.hist("am.handler_us")
+                    h.observe(self.sim.now - t0)
                 self._c_handlers_run.value += 1
             elif verdict == "duplicate":
                 self.stats.count("duplicates_dropped")
             elif verdict == "nack":
                 yield from self._send_nack(pkt.src, rwin)
-        elif kind in (PacketKind.STORE_DATA, PacketKind.GET_DATA):
+        elif kind is _STORE_DATA or kind is _GET_DATA:
             yield from self._process_bulk(pkt)
-        elif kind == PacketKind.GET_REQUEST:
+        elif kind is _GET_REQUEST:
             yield from self._process_get_request(pkt)
-        elif kind == PacketKind.ACK:
+        elif kind is _ACK:
             pass  # carried only its ack fields, already applied
-        elif kind == PacketKind.NACK:
+        elif kind is _NACK:
             yield from self._process_nack(pkt)
-        elif kind == PacketKind.KEEPALIVE:
+        elif kind is _KEEPALIVE:
             yield from self._process_keepalive(pkt)
-        elif kind == PacketKind.RAW:
+        elif kind is _RAW:
             self._raw_inbox.append(pkt)
         else:  # pragma: no cover - exhaustive
             raise AssertionError(f"unhandled packet kind {kind}")
@@ -542,7 +580,9 @@ class SPAM:
         ack_rep = pkt.ack_rep
         if ack_req < 0 and ack_rep < 0:
             return
-        peer = self._peer(pkt.src)
+        peer = self._peers.get(pkt.src)  # inlined _peer fast path
+        if peer is None:
+            peer = self._peer(pkt.src)
         if ack_req >= 0:
             win = peer.send[REQUEST_CHANNEL]
             if ack_req > win.base:
@@ -574,7 +614,9 @@ class SPAM:
 
     def _process_bulk(self, pkt: Packet):
         channel = pkt.channel
-        peer = self._peer(pkt.src)
+        peer = self._peers.get(pkt.src)  # inlined _peer fast path
+        if peer is None:
+            peer = self._peer(pkt.src)
         rwin = peer.recv[channel]
         verdict, unit = rwin.accept(pkt)
         if rwin.has_partial_assembly and verdict in ("partial", "duplicate"):
@@ -585,10 +627,13 @@ class SPAM:
             rwin.assembly_progress_t = self.sim.now
         if verdict in ("deliver", "partial"):
             # copy payload out of the FIFO entry into the user buffer
-            yield from self.node.compute(
-                self.costs.bulk_recv_fixed + copy_cost(len(pkt.payload), self.host)
-            )
-            self.node.memory.write(pkt.addr + pkt.offset, pkt.payload)
+            # (inlined node.compute: one generator frame less per packet)
+            node = self.node
+            cost = (self.costs.bulk_recv_fixed
+                    + copy_cost(len(pkt.payload), self.host))
+            node.cpu_busy_us += cost
+            yield Delay(cost)
+            node.memory.write(pkt.addr + pkt.offset, pkt.payload)
             yield from self._bulk_progress(pkt)
             if verdict == "deliver":
                 # one explicit acknowledgement per chunk (§2.2)
@@ -628,7 +673,10 @@ class SPAM:
                     self._in_handler = False
                 if obs is not None:
                     obs.mark_packet(pkt, "handler_end", self.sim.now)
-                    obs.hist("am.handler_us").observe(self.sim.now - t0)
+                    h = self._handler_hist
+                    if h is None:
+                        h = self._handler_hist = obs.hist("am.handler_us")
+                    h.observe(self.sim.now - t0)
             self.stats.count("bulk_recv_completed")
 
     def _process_get_request(self, pkt: Packet):
@@ -732,6 +780,27 @@ class SPAM:
         yield from self._send_control(pkt.src, PacketKind.NACK)
         self.stats.count("keepalive_nacks_sent")
 
+    def _duties_pending(self) -> bool:
+        """Whether :meth:`_do_duties` could possibly do any work.
+
+        Conservative (may return True when the generator then does
+        nothing — e.g. a partial assembly that has not stalled yet), but
+        never False when work exists: every branch of ``_do_duties`` is
+        covered.  Lets the poll loop skip two generator frames per drain
+        in the common nothing-to-do case.
+        """
+        if self._deferred_replies or self._sendable_ops_dirty:
+            return True
+        for peer in self._peers.values():
+            r_req, r_rep = peer.recv
+            if (r_req.unacked_count >= r_req.ack_threshold
+                    or r_rep.unacked_count >= r_rep.ack_threshold):
+                return True
+            if (r_req._assembly is not None
+                    or r_rep._assembly is not None):
+                return True  # the stall watchdog needs the timing check
+        return False
+
     def _do_duties(self):
         """End-of-poll flow-control work: deferred replies, quarter-window
         explicit acks, stalled-assembly NACKs, and newly-unblocked bulk
@@ -806,13 +875,14 @@ class SPAM:
         """Blocked on credit / acks / completion: service the network; if
         idle, sleep until the next arrival (equivalent in simulated time
         to the paper's poll spinning) with a keep-alive timeout."""
-        if not self.adapter.recv_fifo.visible:
-            if self.adapter.recv_fifo.pending_pop > 0:
+        rf = self.adapter.recv_fifo
+        if not rf.visible:
+            if rf.pending_pop > 0:
                 # going idle: return consumed receive-FIFO slots to the
                 # adapter even below the lazy-pop batch, so a near-full
                 # FIFO can't keep dropping the very retransmissions that
                 # would drain it
-                batch = self.adapter.recv_fifo.pending_pop
+                batch = rf.pending_pop
                 yield from self.node.compute(
                     self.host.mc_pio + flush_cost(batch * 256, self.host)
                 )
@@ -834,4 +904,8 @@ class SPAM:
         # empty-poll charge + drain without the extra generator frame
         self.node.cpu_busy_us += self._poll_empty_delay.duration
         yield self._poll_empty_delay
-        yield from self._drain()
+        # re-check visibility after the yield (arrivals may have landed);
+        # an idle spin with no packets and no duties skips the _drain
+        # generator entirely — it would be a pure no-op
+        if rf.visible or self._duties_pending():
+            yield from self._drain()

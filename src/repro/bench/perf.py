@@ -19,6 +19,14 @@ event's ``(time, seq, callback)`` into a digest: the two schedulers must
 produce **byte-identical** digests and final simulated clocks, or the
 wheel is reordering events and the run fails.
 
+The wheel workloads are additionally timed with idle fast-forward
+disabled (``wheel_noff``) and the on/off ratio is reported per workload;
+a second differential pass records full-speed event-order digests (via
+the engine's check hooks, so no ``step()`` slowdown) with fast-forward
+on and off on **all four** workloads — digests, final clocks, and
+event/stale counts must match exactly, or the fast path is changing
+execution order rather than just skipping idle queue work.
+
 Events/sec is reported *adjusted*: ``(events_executed +
 stale_events_skipped) / wall``.  The pre-PR engine executed cancelled
 timer wakeups as counted no-op events; the current engine discards them
@@ -74,9 +82,25 @@ DIGEST_SIZES: Dict[str, tuple] = {
     "alltoall": (4, 2_048, 1),
 }
 
+#: sizes for the fast-forward on/off digest comparison.  These runs ride
+#: the engine's check hooks through the full-speed drain loops, so they
+#: afford larger sizes than the ``step()``-driven ``DIGEST_SIZES`` — and
+#: they cover soak, which ``step()`` cannot drive (``run_soak`` owns its
+#: simulator).
+FF_DIGEST_SIZES: Dict[str, tuple] = {
+    "pingpong": (2_000,),
+    "bulk": (65_536, 2),
+    "alltoall": (8, 4_096, 1),
+    "soak": (20,),
+}
+
 #: workloads that run under both schedulers (soak builds its own
 #: simulator inside ``run_soak``, so it is measured on the default only)
 DUAL_SCHEDULER = ("pingpong", "bulk", "alltoall")
+
+#: every workload, for the fast-forward comparisons (which only need the
+#: wheel scheduler and therefore include soak)
+ALL_WORKLOADS = ("pingpong", "bulk", "alltoall", "soak")
 
 
 # ---------------------------------------------------------------------------
@@ -193,12 +217,13 @@ def _adjusted_eps(sim: Simulator, wall: float) -> float:
 
 
 def _timed_run(name: str, scheduler: str, sizes: tuple,
-               repeat: int) -> Dict:
+               repeat: int, idle_fast_forward: bool = True) -> Dict:
     """Best-of-``repeat`` wall time for one workload on one scheduler."""
     build = _BUILDERS[name]
     best: Optional[Dict] = None
     for _ in range(repeat):
-        sim = Simulator(scheduler=scheduler)
+        sim = Simulator(scheduler=scheduler,
+                        idle_fast_forward=idle_fast_forward)
         procs = build(sim, *sizes)
         t0 = time.perf_counter()
         sim.run_until_processes_done(procs, limit=1e12)
@@ -218,14 +243,16 @@ def _timed_run(name: str, scheduler: str, sizes: tuple,
     return best
 
 
-def _timed_soak(pingpong: int, repeat: int) -> Dict:
+def _timed_soak(pingpong: int, repeat: int,
+                idle_fast_forward: bool = True) -> Dict:
     from repro.faults import run_soak
 
     best: Optional[Dict] = None
     for _ in range(repeat):
         t0 = time.perf_counter()
         res = run_soak(seed=11, loss=0.01, nodes=3, pingpong=pingpong,
-                       compare_clean=False)
+                       compare_clean=False,
+                       idle_fast_forward=idle_fast_forward)
         wall = time.perf_counter() - t0
         if res.violations:
             raise RuntimeError(
@@ -303,6 +330,107 @@ def run_determinism(sizes: Optional[Dict[str, tuple]] = None) -> Dict:
 
 
 # ---------------------------------------------------------------------------
+# differential determinism: idle fast-forward on/off must agree too
+# ---------------------------------------------------------------------------
+
+class _FFDigestRecorder:
+    """Event-order digest collected through the engine's check hooks.
+
+    Unlike :func:`_digest_run` this never forces the one-event-at-a-time
+    ``step()`` path: the engine's fast drain loops call ``on_execute`` /
+    ``on_stale`` on whatever object sits on ``sim.check``, so the digest
+    covers exactly what the full-speed path retired — which is the path
+    idle fast-forward changes and therefore the one that must be proven
+    order-identical with fast-forward off.
+    """
+
+    __slots__ = ("_update", "_hexdigest", "stale", "cancels")
+
+    def __init__(self):
+        h = hashlib.blake2b(digest_size=16)
+        self._update = h.update
+        self._hexdigest = h.hexdigest
+        self.stale = 0
+        self.cancels = 0
+
+    def on_execute(self, entry) -> None:
+        fn = entry[2]
+        self._update(_DIGEST_PACK(entry[0], entry[1]))
+        self._update(getattr(fn, "__qualname__", type(fn).__name__).encode())
+
+    def on_stale(self, entry) -> None:
+        self.stale += 1
+
+    def on_cancel(self, entry) -> None:
+        self.cancels += 1
+
+    def hexdigest(self) -> str:
+        return self._hexdigest()
+
+
+def _ff_recorded_run(name: str, sizes: tuple, idle_fast_forward: bool):
+    """One wheel run with a digest recorder attached; returns the record."""
+    rec = _FFDigestRecorder()
+    if name == "soak":
+        from repro.faults import run_soak
+
+        res = run_soak(seed=11, loss=0.01, nodes=3, pingpong=sizes[0],
+                       compare_clean=False, sim_check=rec,
+                       idle_fast_forward=idle_fast_forward)
+        if res.violations:
+            raise RuntimeError(
+                f"soak digest run violated reliability invariants: "
+                f"{res.violations}")
+        sim = res.obs.machine.sim
+    else:
+        sim = Simulator(scheduler="wheel",
+                        idle_fast_forward=idle_fast_forward)
+        procs = _BUILDERS[name](sim, *sizes)
+        sim.check = rec
+        sim.run_until_processes_done(procs, limit=1e12)
+    return {
+        "digest": rec.hexdigest(),
+        "sim_us": sim.now,
+        "events": sim.events_executed,
+        "stale_skipped": sim.stale_events_skipped,
+    }
+
+
+def run_ff_determinism(sizes: Optional[Dict[str, tuple]] = None) -> Dict:
+    """Fast-forward on vs off over all four workloads.
+
+    ``identical`` per workload requires byte-identical digests,
+    bit-identical final simulated clocks, and equal executed/stale
+    counts; anything less means the fast-forward path altered execution
+    rather than just skipping idle queue scans.
+    """
+    sizes = sizes or FF_DIGEST_SIZES
+    out: Dict = {}
+    all_ok = True
+    for name in ALL_WORKLOADS:
+        if name not in sizes:
+            continue
+        on = _ff_recorded_run(name, sizes[name], True)
+        off = _ff_recorded_run(name, sizes[name], False)
+        ok = (on["digest"] == off["digest"]
+              and on["sim_us"] == off["sim_us"]
+              and on["events"] == off["events"]
+              and on["stale_skipped"] == off["stale_skipped"])
+        all_ok = all_ok and ok
+        out[name] = {
+            "ff_on_digest": on["digest"],
+            "ff_off_digest": off["digest"],
+            "ff_on_sim_us": on["sim_us"],
+            "ff_off_sim_us": off["sim_us"],
+            "ff_on_events": on["events"],
+            "ff_off_events": off["events"],
+            "identical": ok,
+        }
+    out["identical"] = all_ok
+    return out
+
+
+# ---------------------------------------------------------------------------
 # suite driver + regression gate
 # ---------------------------------------------------------------------------
 
@@ -311,31 +439,52 @@ def run_perf(
     repeat: Optional[int] = None,
     sizes: Optional[Dict[str, tuple]] = None,
     digest_sizes: Optional[Dict[str, tuple]] = None,
+    ff_digest_sizes: Optional[Dict[str, tuple]] = None,
 ) -> Dict:
     """Run the whole suite; returns the report ``extra`` payload.
 
-    ``sizes``/``digest_sizes`` override the built-in workload sizes
-    (tests use tiny ones).  ``repeat`` defaults to 3 in quick mode —
-    best-of-N damps scheduler-ratio noise on short runs — and 1 on the
-    full sizes, where runs are long enough to be stable.
+    ``sizes``/``digest_sizes``/``ff_digest_sizes`` override the built-in
+    workload sizes (tests use tiny ones).  ``repeat`` defaults to 3 in
+    quick mode — best-of-N damps scheduler-ratio noise on short runs —
+    and 1 on the full sizes, where runs are long enough to be stable.
+    The soak workload always gets at least best-of-5: its full-size wall
+    is ~45 ms, short enough that single draws scatter by double-digit
+    percentages on a noisy box.
     """
     sizes = sizes or (QUICK_SIZES if quick else FULL_SIZES)
     if repeat is None:
         repeat = 3 if quick else 1
     workloads: Dict[str, Dict] = {}
+    # soak first: at ~40 ms its wall is the suite's most noise-sensitive
+    # measurement, so take its draws at the start of the run instead of
+    # a minute of pingpong later, when the box's background load may
+    # have drifted away from whatever the caller probed
+    soak_repeat = max(repeat, 5)
+    soak: Dict = {
+        "wheel": _timed_soak(sizes["soak"][0], soak_repeat),
+        "wheel_noff": _timed_soak(sizes["soak"][0], soak_repeat,
+                                  idle_fast_forward=False),
+    }
+    soak["ratio_ff_on_over_off"] = round(
+        soak["wheel"]["adj_eps"] / soak["wheel_noff"]["adj_eps"], 4)
+    workloads["soak"] = soak
     for name in DUAL_SCHEDULER:
         per: Dict = {}
         for scheduler in ("wheel", "heap"):
             per[scheduler] = _timed_run(name, scheduler, sizes[name], repeat)
+        per["wheel_noff"] = _timed_run(name, "wheel", sizes[name], repeat,
+                                       idle_fast_forward=False)
         per["ratio_wheel_over_heap"] = round(
             per["wheel"]["adj_eps"] / per["heap"]["adj_eps"], 4)
+        per["ratio_ff_on_over_off"] = round(
+            per["wheel"]["adj_eps"] / per["wheel_noff"]["adj_eps"], 4)
         workloads[name] = per
-    workloads["soak"] = {"wheel": _timed_soak(sizes["soak"][0], repeat)}
     return {
         "quick": quick,
         "repeat": repeat,
         "workloads": workloads,
         "determinism": run_determinism(digest_sizes),
+        "determinism_ff": run_ff_determinism(ff_digest_sizes),
         "baseline_pre_pr": dict(PRE_PR_BASELINE),
     }
 
@@ -354,6 +503,9 @@ def report_entries(data: Dict) -> List[tuple]:
         if "ratio_wheel_over_heap" in per:
             entries.append((f"{name} wheel/heap eps ratio", None,
                             per["ratio_wheel_over_heap"]))
+        if "ratio_ff_on_over_off" in per:
+            entries.append((f"{name} idle-ff on/off eps ratio", None,
+                            per["ratio_ff_on_over_off"]))
     return entries
 
 
@@ -365,6 +517,14 @@ def check_regression(current: Dict, committed: Dict,
     committed report's ratio; a drop beyond ``tolerance`` (default 20%)
     is a regression.  Absolute events/sec never enters the comparison,
     so the gate is insensitive to CI hardware speed.
+
+    The idle-fast-forward on/off ratio is gated the same way, but with a
+    floor that concedes half the committed gain (``1 + (ref - 1)/2``)
+    and only where the committed report shows fast-forward actually
+    mattering (ref >= 1.1): a silently-disabled fast path lands at ~1.0
+    and trips the gate on exactly the workloads it was built for, while
+    workloads that never idle (ratio ~1.0) can't flake the gate on
+    timing noise.
     """
     problems: List[str] = []
     ref_workloads = committed.get("workloads", {})
@@ -381,6 +541,25 @@ def check_regression(current: Dict, committed: Dict,
                 f"{name}: wheel/heap eps ratio {cur:.3f} fell below "
                 f"{floor:.3f} ({(1.0 - tolerance) * 100:.0f}% of the "
                 f"committed {ref:.3f}) — wheel scheduler regression")
+    for name in ALL_WORKLOADS:
+        ref = ref_workloads.get(name, {}).get("ratio_ff_on_over_off")
+        if ref is None or ref < 1.1:
+            # pre-fast-forward committed report, or a workload where
+            # fast-forward never bought anything to lose
+            continue
+        cur = current["workloads"].get(name, {}).get("ratio_ff_on_over_off")
+        floor = 1.0 + (ref - 1.0) * 0.5
+        if cur is None:
+            problems.append(f"{name}: missing idle-ff on/off ratio "
+                            f"(committed={ref})")
+        elif cur < floor:
+            problems.append(
+                f"{name}: idle-ff on/off eps ratio {cur:.3f} fell below "
+                f"{floor:.3f} (half the committed gain of {ref:.3f}) — "
+                f"idle fast-forward regression")
     if not current["determinism"]["identical"]:
         problems.append("wheel/heap event-order digests differ")
+    if not current.get("determinism_ff", {}).get("identical", True):
+        problems.append(
+            "idle fast-forward on/off event-order digests differ")
     return problems

@@ -380,22 +380,33 @@ class _CheckCampaign:
     # -- the per-rank program -------------------------------------------
 
     def _quiesced(self) -> bool:
+        if self.sim.live_pending_count() == 0:
+            # live-only count: tombstoned (cancelled) keep-alive timers
+            # still occupy queue slots but represent no future work, so
+            # a machine with zero live entries can never change again
+            return True
         if self.machine.switch.in_flight > 0:
             return False
         for am in self.ams:
             if am._active_sends or am._deferred_replies:
                 return False
-            if am.adapter.host_recv_available() > 0:
+            adapter = am.adapter
+            if adapter.send_fifo.occupied > 0:
                 return False
-            if am.adapter.send_fifo.occupied > 0:
+            rf = adapter.recv_fifo
+            visible = len(rf.visible)
+            if visible > 0:
                 return False
-            rf = am.adapter.recv_fifo
-            if rf.occupied != len(rf.visible) + rf.pending_pop:
+            if rf.occupied != visible + rf.pending_pop:
                 return False  # a packet is mid-RX-DMA
+            # open-coded window-field reads (vs the has_unacked /
+            # has_partial_assembly properties): this runs per idle poll
             for peer in am._peers.values():
-                if any(win.has_unacked for win in peer.send):
+                s_req, s_rep = peer.send
+                if s_req._saved or s_rep._saved:
                     return False
-                if any(rw.has_partial_assembly for rw in peer.recv):
+                r_req, r_rep = peer.recv
+                if r_req._assembly is not None or r_rep._assembly is not None:
                     return False
         for mpi in self.mpis:
             if mpi.adi._send_states or mpi.adi._recv_states:

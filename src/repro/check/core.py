@@ -374,7 +374,9 @@ class AllocCheck(_Check):
 
 class SchedulerCheck(_Check):
     """Events execute in strictly increasing (time, seq) order; no
-    cancelled (tombstoned) timer ever fires."""
+    cancelled (tombstoned) timer ever fires; the idle fast-forward only
+    ever discards tombstones, in queue order — it can never jump the
+    clock over a live entry."""
 
     kind = "sched"
 
@@ -382,12 +384,28 @@ class SchedulerCheck(_Check):
         super().__init__(san, name)
         self.sim = sim
         self.last: Tuple[float, int] = (float("-inf"), -1)
+        #: (time, seq) of the last entry consumed from the queue front,
+        #: executed *or* discarded as a tombstone.  Fast-forward's bulk
+        #: skip reports each discarded entry through on_stale, so a skip
+        #: that jumped past a live entry surfaces here: the live entry
+        #: eventually executes with a key behind this watermark.
+        self.last_popped: Tuple[float, int] = (float("-inf"), -1)
         self.cancelled = 0
         self.stale_skipped = 0
 
+    def _note_popped(self, entry, op):
+        key = (entry[0], entry[1])
+        if key <= self.last_popped:
+            self.fail(op,
+                      f"queue consumed (t={entry[0]}, seq={entry[1]}) after "
+                      f"(t={self.last_popped[0]}, seq={self.last_popped[1]}) "
+                      "— fast-forward skipped over a live region")
+        self.last_popped = key
+        return key
+
     def on_execute(self, entry):
         self.checks += 1
-        key = (entry[0], entry[1])
+        key = self._note_popped(entry, "execute")
         if key <= self.last:
             self.fail("execute",
                       f"event (t={entry[0]}, seq={entry[1]}) executed "
@@ -404,6 +422,10 @@ class SchedulerCheck(_Check):
     def on_stale(self, entry):
         self.checks += 1
         self.stale_skipped += 1
+        self._note_popped(entry, "stale")
+        if entry[2] is not None:
+            self.fail("stale",
+                      "fast-forward discarded a live entry as a tombstone")
         if entry[3] != ():
             self.fail("stale", "tombstoned entry still holds callback args")
 

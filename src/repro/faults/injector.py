@@ -82,6 +82,15 @@ class FaultInjector:
         self._seen: Dict[int, int] = {i: 0 for i in range(len(plan.rules))}
         #: firings per rule (drives per-rule budgets)
         self._fired: Dict[int, int] = {i: 0 for i in range(len(plan.rules))}
+        #: rules pre-split by injection site (FaultPlan is frozen, so the
+        #: split can't go stale); the sites run per packet and most plans
+        #: use one or two kinds, so scanning the full rule list each time
+        #: would mostly be skips
+        rules = list(enumerate(plan.rules))
+        self._switch_rules = [(i, r) for i, r in rules
+                              if r.kind in SWITCH_KINDS]
+        self._rx_rules = [(i, r) for i, r in rules if r.kind == "rx_overflow"]
+        self._tx_rules = [(i, r) for i, r in rules if r.kind == "tx_stall"]
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -155,9 +164,7 @@ class FaultInjector:
 
     def at_switch(self, pkt: Packet, now: float) -> Optional[FaultAction]:
         """Fabric faults; at most one per packet, first firing rule wins."""
-        for i, rule in enumerate(self.plan.rules):
-            if rule.kind not in SWITCH_KINDS:
-                continue
+        for i, rule in self._switch_rules:
             if not self._try_fire(i, rule, pkt, now):
                 continue
             if rule.kind == "drop":
@@ -174,15 +181,15 @@ class FaultInjector:
 
     def at_rx(self, pkt: Packet, now: float) -> bool:
         """Forced receive-FIFO overflow on the destination adapter."""
-        for i, rule in enumerate(self.plan.rules):
-            if rule.kind == "rx_overflow" and self._try_fire(i, rule, pkt, now):
+        for i, rule in self._rx_rules:
+            if self._try_fire(i, rule, pkt, now):
                 return True
         return False
 
     def tx_stall_us(self, pkt: Packet, now: float) -> float:
         """Extra send-DMA service time on the source adapter."""
-        for i, rule in enumerate(self.plan.rules):
-            if rule.kind == "tx_stall" and self._try_fire(i, rule, pkt, now):
+        for i, rule in self._tx_rules:
+            if self._try_fire(i, rule, pkt, now):
                 return rule.delay_us
         return 0.0
 

@@ -38,6 +38,7 @@ are thin wrappers over :func:`run_soak`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional
 
 from repro.am import attach_spam
@@ -74,9 +75,16 @@ def _h_pong(token, src, i):
     token.am.node.soak_pongs.setdefault(src, []).append(i)
 
 
+@lru_cache(maxsize=64)
+def _pattern_period(rank: int) -> bytes:
+    # (17*rank + 3*j + 7) % 251 depends only on j % 251 (gcd(3, 251) = 1),
+    # so one 251-byte period per rank covers any length by repetition
+    return bytes((17 * rank + 3 * j + 7) % 251 for j in range(251))
+
+
 def _pattern(rank: int, nbytes: int) -> bytes:
     """Deterministic per-rank payload (verifiable byte-for-byte)."""
-    return bytes((17 * rank + 3 * j + 7) % 251 for j in range(nbytes))
+    return (_pattern_period(rank) * (nbytes // 251 + 1))[:nbytes]
 
 
 # ---------------------------------------------------------------------------
@@ -161,13 +169,14 @@ class _Campaign:
     """One machine + workload execution, with or without faults."""
 
     def __init__(self, nodes: int, pingpong: int, bulk_bytes: int,
-                 plan: Optional[FaultPlan], limit: float):
+                 plan: Optional[FaultPlan], limit: float,
+                 idle_fast_forward: bool = True):
         self.nodes = nodes
         self.pingpong = pingpong
         self.bulk_bytes = bulk_bytes
         self.limit = limit
         self.violations: List[str] = []
-        self.sim = Simulator()
+        self.sim = Simulator(idle_fast_forward=idle_fast_forward)
         self.machine = build_sp_machine(self.sim, nodes)
         self.obs = Observatory().attach(self.machine)
         self.ams = attach_spam(self.machine)
@@ -193,6 +202,12 @@ class _Campaign:
 
     def _quiesced(self) -> bool:
         """Global drain predicate: nothing anywhere awaits recovery."""
+        if self.sim.live_pending_count() == 0:
+            # nothing will ever run again: tombstoned keep-alive timers
+            # may still sit in the queue, but they represent no recovery
+            # work — the raw pending count would keep this drain loop
+            # spinning on a machine that can no longer change
+            return True
         if self.machine.switch.in_flight > 0:
             # the fabric still holds traffic no FIFO shows yet; a rank
             # exiting its drain loop now would strand the arrival unread
@@ -200,17 +215,24 @@ class _Campaign:
         for am in self.ams:
             if am._active_sends or am._deferred_replies:
                 return False
-            if am.adapter.host_recv_available() > 0:
+            adapter = am.adapter
+            if adapter.send_fifo.occupied > 0:
                 return False
-            if am.adapter.send_fifo.occupied > 0:
+            rf = adapter.recv_fifo
+            visible = len(rf.visible)
+            if visible > 0:
                 return False
-            rf = am.adapter.recv_fifo
-            if rf.occupied != len(rf.visible) + rf.pending_pop:
+            if rf.occupied != visible + rf.pending_pop:
                 return False  # a packet is mid-RX-DMA
+            # unacked/partial-assembly checks open-coded: this predicate
+            # runs on every idle poll, and the window properties just wrap
+            # these two fields
             for peer in am._peers.values():
-                if any(w.has_unacked for w in peer.send):
+                s_req, s_rep = peer.send
+                if s_req._saved or s_rep._saved:
                     return False
-                if any(rw.has_partial_assembly for rw in peer.recv):
+                r_req, r_rep = peer.recv
+                if r_req._assembly is not None or r_rep._assembly is not None:
                     return False
         return True
 
@@ -380,6 +402,8 @@ def run_soak(
     plan: Optional[FaultPlan] = None,
     compare_clean: bool = True,
     limit: float = 5e7,
+    idle_fast_forward: bool = True,
+    sim_check: Optional[object] = None,
 ) -> SoakResult:
     """Run the soak workload under a fault plan; return the evidence.
 
@@ -387,7 +411,9 @@ def run_soak(
     :meth:`FaultPlan.chaos` (all six kinds) over :meth:`FaultPlan.loss`
     (uniform fabric drops) at rate ``loss`` with seed ``seed``.  With
     ``compare_clean`` the identical workload also runs fault-free to
-    bound recovery time.
+    bound recovery time.  ``idle_fast_forward`` and ``sim_check`` reach
+    the lossy campaign's engine — the perf suite uses them to compare
+    fast-forward on/off walls and event-order digests on this workload.
     """
     if plan is None:
         plan = (FaultPlan.chaos(seed, loss) if chaos
@@ -403,7 +429,10 @@ def run_soak(
             raise AssertionError(
                 "fault-free soak run failed: " + "; ".join(clean.violations))
 
-    lossy = _Campaign(nodes, pingpong, bulk_bytes, plan=plan, limit=limit)
+    lossy = _Campaign(nodes, pingpong, bulk_bytes, plan=plan, limit=limit,
+                      idle_fast_forward=idle_fast_forward)
+    if sim_check is not None:
+        lossy.sim.check = sim_check
     elapsed = lossy.run()
     lossy.reconcile_faults()
 

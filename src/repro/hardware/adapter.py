@@ -70,6 +70,15 @@ class TB2Adapter:
         self._tx_scheduled = False
         # RX service bookkeeping
         self._rx_free = 0.0
+        # per-packet constants hoisted out of the service loops (the
+        # params dataclasses are frozen, so these can never go stale)
+        self._mc_dma_rate = params.mc_dma_rate
+        self._i860_tx_occupancy = params.i860_tx_occupancy
+        self._i860_tx_latency = params.i860_tx_latency
+        self._msmu_gap = params.msmu_gap
+        self._i860_rx_occupancy = params.i860_rx_occupancy
+        self._i860_rx_latency = params.i860_rx_latency
+        self._link_rate = switch_params.link_rate
         #: callbacks run (at packet-visible time) on every delivery; the AM
         #: layer uses this to wake blocked processes instead of spin-polling
         self._arrival_listeners: List[Callable[[Packet], None]] = []
@@ -121,7 +130,9 @@ class TB2Adapter:
         charged by the poller)."""
         pkt = self.recv_fifo.consume()
         if self.obs is not None:
-            self.obs.mark_packet(pkt, "consume", self.sim.now)
+            span = self.obs.spans.get(pkt.trace_id)  # inlined mark_packet
+            if span is not None:
+                span.marks["consume"] = self.sim.now
         return pkt
 
     def host_recv_should_pop(self) -> bool:
@@ -164,38 +175,51 @@ class TB2Adapter:
     # ------------------------------------------------------------------
 
     def _tx_service(self) -> None:
-        pkt = self.send_fifo.take_armed()
+        fifo = self.send_fifo
+        pkt = fifo.take_armed()
         if pkt is None:
             self._tx_scheduled = False
             return
-        p = self.params
-        start = max(self.sim.now, self._tx_free)
-        dma = pkt.wire_bytes / p.mc_dma_rate
-        wire = pkt.wire_bytes / self.switch_params.link_rate
-        occupancy = max(dma, p.i860_tx_occupancy, wire + p.msmu_gap)
-        latency = dma + p.i860_tx_latency + wire
+        sim = self.sim
+        now = sim.now
+        tx_free = self._tx_free
+        start = now if now > tx_free else tx_free
+        wire_bytes = pkt.wire_bytes
+        dma = wire_bytes / self._mc_dma_rate
+        wire = wire_bytes / self._link_rate
+        gapped = wire + self._msmu_gap
+        occupancy = dma if dma > gapped else gapped
+        if occupancy < self._i860_tx_occupancy:
+            occupancy = self._i860_tx_occupancy
+        latency = dma + self._i860_tx_latency + wire
         if self.faults is not None:
-            stall = self.faults.tx_stall_us(pkt, self.sim.now)
+            stall = self.faults.tx_stall_us(pkt, now)
             if stall > 0.0:
                 # injected send-DMA stall: the i860 holds this packet (and
                 # everything behind it) for ``stall`` microseconds
                 occupancy += stall
                 latency += stall
                 self.stats.count("tx_stalled_fault")
-        self._tx_free = start + occupancy
+        tx_free = start + occupancy
+        self._tx_free = tx_free
         self._c_tx_packets.value += 1
-        self._c_tx_bytes.value += pkt.wire_bytes
+        self._c_tx_bytes.value += wire_bytes
+        exit_at = start + latency
         if self.obs is not None:
-            span = self.obs.mark_packet(pkt, "dma_start", start)
-            if span is not None and "wire_exit" in span.marks:
-                span.retransmits += 1  # go-back-N re-entering the TX path
-            self.obs.mark_packet(pkt, "wire_exit", start + latency)
+            # inlined mark_packet x2: one span lookup for both marks
+            span = self.obs.spans.get(pkt.trace_id)
+            if span is not None:
+                marks = span.marks
+                if "wire_exit" in marks:
+                    span.retransmits += 1  # go-back-N re-entering TX
+                marks["dma_start"] = start
+                marks["wire_exit"] = exit_at
         for fn in self._departure_listeners:
-            fn(pkt, start + latency)
-        self.switch.inject(pkt, start + latency)
-        if self.send_fifo.armed_count > 0:
-            delay = max(0.0, self._tx_free - self.sim.now)
-            self.sim.schedule(delay, self._tx_service_cb)
+            fn(pkt, exit_at)
+        self.switch.inject(pkt, exit_at)
+        if fifo._armed:
+            delay = tx_free - now
+            sim.schedule(delay if delay > 0.0 else 0.0, self._tx_service_cb)
         else:
             self._tx_scheduled = False
 
@@ -205,7 +229,8 @@ class TB2Adapter:
 
     def on_wire_arrival(self, packet: Packet) -> None:
         """Switch-facing: accept or drop (CRC failure, FIFO overflow)."""
-        if not packet.checksum_ok():
+        cs = packet.checksum  # inlined checksum_ok (per-arrival path)
+        if cs >= 0 and cs != packet.compute_checksum():
             # Hardware CRC check: a packet corrupted in the fabric is
             # discarded here, indistinguishable from a loss to the layers
             # above — §2.2's go-back-N recovers it.
@@ -213,8 +238,9 @@ class TB2Adapter:
             if self.obs is not None:
                 self.obs.packet_dropped(packet, "crc")
             return
+        sim = self.sim
         forced = (self.faults is not None
-                  and self.faults.at_rx(packet, self.sim.now))
+                  and self.faults.at_rx(packet, sim.now))
         if forced or not self.recv_fifo.reserve():
             # Input-buffer overflow (real or injected): the packet is
             # lost; §2.2's sequence numbers + NACK machinery must
@@ -223,15 +249,19 @@ class TB2Adapter:
             if self.obs is not None:
                 self.obs.packet_dropped(packet, "overflow")
             return
-        p = self.params
-        dma = packet.wire_bytes / p.mc_dma_rate
-        start = max(self.sim.now, self._rx_free)
-        self._rx_free = start + max(dma, p.i860_rx_occupancy)
-        visible_at = start + dma + p.i860_rx_latency
+        dma = packet.wire_bytes / self._mc_dma_rate
+        now = sim.now
+        rx_free = self._rx_free
+        start = now if now > rx_free else rx_free
+        occ = self._i860_rx_occupancy
+        self._rx_free = start + (dma if dma > occ else occ)
+        visible_at = start + dma + self._i860_rx_latency
         self._c_rx_packets.value += 1
         if self.obs is not None:
-            self.obs.mark_packet(packet, "visible", visible_at)
-        self.sim.at(visible_at, self._deliver_cb, packet)
+            span = self.obs.spans.get(packet.trace_id)  # inlined mark_packet
+            if span is not None:
+                span.marks["visible"] = visible_at
+        sim.at(visible_at, self._deliver_cb, packet)
 
     def _deliver(self, packet: Packet) -> None:
         self.recv_fifo.deliver(packet)

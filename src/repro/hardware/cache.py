@@ -24,7 +24,10 @@ def lines_covering(nbytes: int, line_size: int) -> int:
 
 def flush_cost(nbytes: int, host: HostParams) -> float:
     """Microseconds to flush ``nbytes`` of line-aligned data to DRAM."""
-    return lines_covering(nbytes, host.cache_line) * host.flush_line
+    # lines_covering inlined: this runs per staged packet
+    if nbytes <= 0:
+        return 0.0
+    return -(-nbytes // host.cache_line) * host.flush_line
 
 
 def copy_cost(nbytes: int, host: HostParams) -> float:

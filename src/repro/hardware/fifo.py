@@ -31,12 +31,12 @@ class SendFIFO:
         self.entries = entries
         self._staged: Deque[Packet] = deque()  # written, not yet armed
         self._armed: Deque[Packet] = deque()   # length slot set, awaiting TX
+        #: len(_staged) + len(_armed), maintained on stage/take: software
+        #: polls for free entries far more often than packets move, so
+        #: occupancy is an int read, not two deque measurements
+        self.occupied = 0
         #: slot-conservation checker (repro.check), None when unchecked
         self.check = None
-
-    @property
-    def occupied(self) -> int:
-        return len(self._staged) + len(self._armed)
 
     @property
     def free_entries(self) -> int:
@@ -55,6 +55,7 @@ class SendFIFO:
         if self.free_entries <= 0:
             raise OverflowError("send FIFO full; caller must back off first")
         self._staged.append(packet)
+        self.occupied += 1
         if self.check is not None:
             self.check.on_stage(self)
 
@@ -76,6 +77,7 @@ class SendFIFO:
         if not self._armed:
             return None
         pkt = self._armed.popleft()
+        self.occupied -= 1
         if self.check is not None:
             self.check.on_take(self)
         return pkt

@@ -10,6 +10,7 @@ initiating the transfer", §1.1).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Any, Dict, Optional
 
 import numpy as np
@@ -54,9 +55,7 @@ class Memory:
 
     def _locate(self, addr: int, nbytes: int):
         """(segment, offset) containing [addr, addr+nbytes)."""
-        import bisect
-
-        i = bisect.bisect_right(self._seg_bases, addr) - 1
+        i = bisect_right(self._seg_bases, addr) - 1
         if i < 0:
             raise IndexError(f"address {addr:#x} below memory start")
         base = self._seg_bases[i]

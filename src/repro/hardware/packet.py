@@ -13,11 +13,11 @@ each packet").
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass
 from enum import IntEnum
 from struct import Struct
 from typing import Optional, Tuple
+from zlib import crc32 as _crc32
 
 from repro.hardware.params import PACKET_HEADER_BYTES, PACKET_PAYLOAD_BYTES
 
@@ -125,14 +125,14 @@ class Packet:
 
     def compute_checksum(self) -> int:
         """CRC32 over every field the receiver acts on (the TB2 CRC)."""
-        return zlib.crc32(
+        return _crc32(
             _CRC_PACKERS[len(self.args)](
-                int(self.kind), self.src, self.dst, self.seq,
+                self.kind, self.src, self.dst, self.seq,
                 self.channel, self.handler, self.addr, self.offset,
                 self.total_len, self.chunk_packets, self.op_token,
                 self.ack_req, self.ack_rep, *self.args,
             ),
-            zlib.crc32(self.payload),
+            _crc32(self.payload),
         )
 
     def checksum_ok(self) -> bool:

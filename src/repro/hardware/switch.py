@@ -34,8 +34,13 @@ class Switch:
         self.stats = StatRegistry("switch.")
         # per-packet counter resolved once (hot path)
         self._c_packets_routed = self.stats.counter("packets_routed")
+        # per-packet constants (SwitchParams is frozen, so never stale)
+        self._latency = params.latency
+        self._link_rate = params.link_rate
         #: observability hub (set by Observatory.attach; None = untraced)
         self.obs = None
+        #: queue-wait histogram resolved once per hub (hot path)
+        self._queue_hist = None
         #: optional hook: return True to drop this packet in the fabric
         self.fault_injector: Optional[Callable[[Packet], bool]] = None
         #: optional :class:`~repro.faults.injector.FaultInjector` (set by
@@ -63,7 +68,8 @@ class Switch:
         ``wire_exit_time`` (sender adapter computed it); deliver it to the
         destination adapter after switch latency plus any destination-link
         queueing."""
-        if packet.dst not in self._adapters:
+        adapters = self._adapters
+        if packet.dst not in adapters:
             raise KeyError(f"packet addressed to unattached node {packet.dst}")
         self._c_packets_routed.value += 1
         if self.fault_injector is not None and self.fault_injector(packet):
@@ -94,35 +100,39 @@ class Switch:
                     duplicate = act.packet
                     dup_delay = act.delay_us
                     self.stats.count("packets_duplicated_fault")
-        p = self.params
-        wire_time = packet.wire_bytes / p.link_rate
-        start = max(wire_exit_time, self._dest_link_free[packet.dst])
+        dst = packet.dst
+        dlf = self._dest_link_free
+        wire_time = packet.wire_bytes / self._link_rate
+        link_free = dlf[dst]
+        start = wire_exit_time if wire_exit_time > link_free else link_free
         queueing = start - wire_exit_time
         if queueing > 0:
             self.stats.count("dest_link_queued")
-        self._dest_link_free[packet.dst] = start + wire_time
-        deliver_at = start + p.latency + reorder_hold
+        dlf[dst] = start + wire_time
+        deliver_at = start + self._latency + reorder_hold
         if self.obs is not None:
-            self.obs.hist("switch.queue_us").observe(queueing)
-            span = self.obs.mark_packet(packet, "sw_deliver", deliver_at)
+            h = self._queue_hist
+            if h is None:
+                h = self._queue_hist = self.obs.hist("switch.queue_us")
+            h.observe(queueing)
+            span = self.obs.spans.get(packet.trace_id)  # inlined mark_packet
             if span is not None:
+                span.marks["sw_deliver"] = deliver_at
                 span.queued_us += queueing
         self.in_flight += 1
-        self.sim.at(deliver_at, self._hand_off,
-                    self._adapters[packet.dst], packet)
+        self.sim.at(deliver_at, self._hand_off, adapters[dst], packet)
         if duplicate is not None:
             # The fabric's stray copy trails the original by the rule's
             # delay, but it still occupies the destination link for its own
             # wire time — otherwise the duplicate overlaps the next
             # packet's serialization and the link briefly carries two
             # packets at once.
-            dup_start = max(self._dest_link_free[duplicate.dst],
-                            start + dup_delay)
-            self._dest_link_free[duplicate.dst] = dup_start + wire_time
+            dup_start = max(dlf[duplicate.dst], start + dup_delay)
+            dlf[duplicate.dst] = dup_start + wire_time
             self.stats.count("dup_link_charged")
             self.in_flight += 1
-            self.sim.at(dup_start + p.latency + reorder_hold,
-                        self._hand_off, self._adapters[duplicate.dst],
+            self.sim.at(dup_start + self._latency + reorder_hold,
+                        self._hand_off, adapters[duplicate.dst],
                         duplicate)
 
     def _hand_off(self, adapter, packet: Packet) -> None:

@@ -541,12 +541,22 @@ class ADI:
     def progress(self):
         """One progress cycle: poll AM, pump deferred stores and frees."""
         yield from self.am.poll()
-        yield from self._pump_rendezvous()
-        for peer in list(self._frees_owed):
-            yield from self._flush_due_frees(peer)
+        if self._send_states:
+            yield from self._pump_rendezvous()
+        if self._frees_owed:
+            for peer in list(self._frees_owed):
+                yield from self._flush_due_frees(peer)
 
     def _wait_progress(self):
+        """Blocked progress: no simulated spin-poll here — the AM layer's
+        ``_wait_progress`` sleeps on the adapter arrival event under a
+        cancellable keep-alive timer, which is what makes the engine's
+        idle fast-forward safe to take through this path.  The rendezvous
+        pump and free flush are gated on having work: an idle spin would
+        otherwise build two no-op generators and a list per call."""
         yield from self.am._wait_progress()
-        yield from self._pump_rendezvous()
-        for peer in list(self._frees_owed):
-            yield from self._flush_due_frees(peer)
+        if self._send_states:
+            yield from self._pump_rendezvous()
+        if self._frees_owed:
+            for peer in list(self._frees_owed):
+                yield from self._flush_due_frees(peer)

@@ -52,6 +52,9 @@ class Observatory:
         self._registries: List = []
         self.machine = None
         self._next_trace = 1
+        #: kind object -> display name; enum ``.name`` is a descriptor
+        #: lookup, too slow to repeat per message
+        self._kind_names: Dict = {}
 
     # ------------------------------------------------------------------
     # attachment
@@ -106,7 +109,13 @@ class Observatory:
         span (retransmissions re-enter the TX path with the same id);
         sampled-out packets carry trace_id -1 and stay span-less.
         """
-        tid = getattr(pkt, "trace_id", 0)
+        # direct loads with AttributeError fallbacks: this runs per
+        # message, and a 3-arg getattr costs ~2x a plain load (the except
+        # paths only ever run for duck-typed message objects in tests)
+        try:
+            tid = pkt.trace_id
+        except AttributeError:
+            tid = 0
         if tid:
             return self.spans.get(tid)
         if self.sample_every > 1:
@@ -127,24 +136,40 @@ class Observatory:
             pkt.trace_id = tid
         except AttributeError:     # message type without a trace_id slot
             return None
-        kind = getattr(getattr(pkt, "kind", None), "name",
-                       None) or str(getattr(pkt, "kind", type(pkt).__name__))
-        span = MessageSpan(
-            trace_id=tid, src=getattr(pkt, "src", -1),
-            dst=getattr(pkt, "dst", -1), kind=kind,
-            seq=getattr(pkt, "seq", 0),
-            wire_bytes=getattr(pkt, "wire_bytes", 0),
-        )
-        span.mark("begin", t)
+        kind_obj = getattr(pkt, "kind", None)
+        kind = self._kind_names.get(kind_obj) if kind_obj is not None else None
+        if kind is None:
+            kind = getattr(kind_obj, "name",
+                           None) or str(getattr(pkt, "kind",
+                                                type(pkt).__name__))
+            if kind_obj is not None and getattr(kind_obj, "__hash__",
+                                                None) is not None:
+                self._kind_names[kind_obj] = kind
+        try:
+            span = MessageSpan(trace_id=tid, src=pkt.src, dst=pkt.dst,
+                               kind=kind, seq=pkt.seq,
+                               wire_bytes=pkt.wire_bytes)
+        except AttributeError:
+            span = MessageSpan(
+                trace_id=tid, src=getattr(pkt, "src", -1),
+                dst=getattr(pkt, "dst", -1), kind=kind,
+                seq=getattr(pkt, "seq", 0),
+                wire_bytes=getattr(pkt, "wire_bytes", 0),
+            )
+        span.marks["begin"] = t
         self.spans[tid] = span
         return span
 
     def mark_packet(self, pkt, mark: str, t: float) -> Optional[MessageSpan]:
         """Deposit an absolute-time mark on ``pkt``'s span (no-op when the
         packet is untracked)."""
-        span = self.spans.get(getattr(pkt, "trace_id", 0))
+        try:
+            tid = pkt.trace_id
+        except AttributeError:
+            tid = 0
+        span = self.spans.get(tid)
         if span is not None:
-            span.mark(mark, t)
+            span.marks[mark] = t
         return span
 
     def packet_staged(self, pkt, t: float) -> Optional[MessageSpan]:
@@ -153,9 +178,12 @@ class Observatory:
         fields assigned after construction (seq, wire size)."""
         span = self.begin_message(pkt, t)
         if span is not None:
-            span.seq = getattr(pkt, "seq", span.seq)
-            span.wire_bytes = getattr(pkt, "wire_bytes", span.wire_bytes)
-            span.mark("stage", t)
+            try:
+                span.seq = pkt.seq
+                span.wire_bytes = pkt.wire_bytes
+            except AttributeError:
+                pass  # duck-typed message without the refreshed fields
+            span.marks["stage"] = t
         return span
 
     def packet_dropped(self, pkt, reason: str = "") -> None:

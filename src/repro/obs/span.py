@@ -26,8 +26,7 @@ handlers) simply lack the later marks; stage queries skip missing pairs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 #: (stage name, start mark, end mark) in lifecycle order.  The stages tile
 #: the packet's life: summing them over a request/reply pair reproduces
@@ -46,24 +45,41 @@ STAGES: Tuple[Tuple[str, str, str], ...] = (
 STAGE_NAMES: Tuple[str, ...] = tuple(s[0] for s in STAGES)
 
 
-@dataclass
 class MessageSpan:
-    """Everything observed about one packet's life."""
+    """Everything observed about one packet's life.
 
-    trace_id: int
-    src: int
-    dst: int
-    kind: str
-    seq: int = 0
-    wire_bytes: int = 0
-    #: absolute simulated times, keyed by mark name
-    marks: Dict[str, float] = field(default_factory=dict)
-    #: extra transits through the adapter TX path (go-back-N)
-    retransmits: int = 0
-    #: fabric fault-injection + receive-FIFO overflow losses
-    drops: int = 0
-    #: destination-link serialization wait accumulated in the switch
-    queued_us: float = 0.0
+    A plain ``__slots__`` class rather than a dataclass: tracing opens one
+    span per packet, and the hand-written ``__init__`` skips the generated
+    default/``default_factory`` machinery on that per-packet path.
+    """
+
+    __slots__ = ("trace_id", "src", "dst", "kind", "seq", "wire_bytes",
+                 "marks", "retransmits", "drops", "queued_us")
+
+    def __init__(self, trace_id: int, src: int, dst: int, kind: str,
+                 seq: int = 0, wire_bytes: int = 0,
+                 marks: Optional[Dict[str, float]] = None,
+                 retransmits: int = 0, drops: int = 0,
+                 queued_us: float = 0.0):
+        self.trace_id = trace_id
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.seq = seq
+        self.wire_bytes = wire_bytes
+        #: absolute simulated times, keyed by mark name
+        self.marks: Dict[str, float] = {} if marks is None else marks
+        #: extra transits through the adapter TX path (go-back-N)
+        self.retransmits = retransmits
+        #: fabric fault-injection + receive-FIFO overflow losses
+        self.drops = drops
+        #: destination-link serialization wait accumulated in the switch
+        self.queued_us = queued_us
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"MessageSpan(trace_id={self.trace_id}, "
+                f"{self.kind} {self.src}->{self.dst} seq={self.seq}, "
+                f"marks={len(self.marks)})")
 
     def mark(self, name: str, t: float) -> None:
         self.marks[name] = t

@@ -30,6 +30,19 @@ generation and tombstones the queue entry in place; the scheduler skips
 tombstoned entries on pop without executing or counting them.  This is
 what keeps ``Timeout`` yields (the AM keep-alive backoff, MPL's
 second-scale receive timeouts) from churning the queue with stale wakeups.
+
+**Idle fast-forward** (on by default, ``idle_fast_forward=False`` for the
+reference path): because every blocking construct in the protocol stack is
+either an event wait or a cancellable timer, a quiesced instant — all
+runnable processes blocked on timers/events — leaves the queue front
+holding only tombstones and the next live entry.  The fast drain therefore
+(a) jumps the clock directly to the next live entry, consuming any run of
+tombstones in one bulk skip instead of one loop iteration each, and
+(b) batch-executes runs of same-timestamp events in a single dispatch
+loop that settles the clock and the ``until``/``limit`` gates once per
+timestamp instead of once per event.  Both halves are order-preserving by
+construction — fast-forward on/off must produce byte-identical event-order
+digests (``spam-bench perf`` checks this on all four workloads).
 """
 
 from __future__ import annotations
@@ -76,7 +89,14 @@ class TimerHandle:
         return e is not None and e[2] is not None
 
     def cancel(self) -> bool:
-        """Cancel the pending firing; returns True if one was pending."""
+        """Cancel the pending firing; returns True if one was pending.
+
+        Safe at any instant, including from a callback executing at the
+        same ``(time, seq)`` batch as this timer's entry: the dispatch
+        loops re-read the entry's callback slot at dispatch time, so the
+        tombstone written here is honoured even for an entry later in the
+        very batch that is currently executing.
+        """
         e = self._entry
         if e is None or e[2] is None:
             return False
@@ -90,7 +110,17 @@ class TimerHandle:
             ck.on_cancel(e)
         return True
 
-    def _fire(self, fn: Callable[..., None], args: tuple) -> None:
+    def _fire(self, gen: int, fn: Callable[..., None], args: tuple) -> None:
+        if gen != self.gen:
+            # The generation stamped into the entry at schedule time no
+            # longer matches: the handle was cancelled or rescheduled and
+            # the tombstone was somehow bypassed.  Firing would run a
+            # callback the owner already disowned — fail loudly instead.
+            raise RuntimeError(
+                f"timer entry from generation {gen} fired on a handle at "
+                f"generation {self.gen} (cancelled/rescheduled timer was "
+                "not tombstoned)"
+            )
         # the entry just popped is this handle's live one: retire it
         self._entry = None
         self.gen += 1
@@ -124,19 +154,40 @@ class Simulator:
         Both execute identical event orders.
     :param wheel_window_us: width of the wheel's active window; events
         within the window are ordered exactly by (time, insertion seq), so
-        this is a throughput knob only, never a correctness one.
+        this is a throughput knob only, never a correctness one.  The
+        128 us default measured best-or-equal across all four perf
+        workloads: wide enough that the ~100-400 us protocol timers
+        (retransmit backoff, keep-alive) are born in-window — where a
+        later cancel costs one bulk-skipped tombstone instead of a
+        heappush/heappop round trip — yet narrow enough that insort's
+        memmove stays cheap on the dense microsecond-scale workloads.
+    :param idle_fast_forward: default for the run loops' fast drain (bulk
+        tombstone skip + batched same-timestamp dispatch).  A throughput
+        knob only: on/off execute identical event orders (the wheel's
+        reference path and the heap scheduler ignore it).
     """
+
+    __slots__ = (
+        "scheduler", "_wheel", "idle_fast_forward", "now", "_seq",
+        "_live_processes", "_blocked_processes", "_finish_stamp",
+        "events_executed", "stale_events_skipped", "_stale_pending",
+        "_queue", "_window_us", "_window_end", "_cur_list", "_cur_idx",
+        "_far", "check", "last_event",
+    )
 
     def __init__(
         self,
         scheduler: str = "wheel",
-        wheel_window_us: float = 64.0,
+        wheel_window_us: float = 128.0,
+        idle_fast_forward: bool = True,
     ) -> None:
         if scheduler not in ("wheel", "heap"):
             raise ValueError(f"unknown scheduler {scheduler!r}")
         if wheel_window_us <= 0.0:
             raise ValueError("wheel_window_us must be positive")
         self.scheduler = scheduler
+        self._wheel = scheduler == "wheel"
+        self.idle_fast_forward = bool(idle_fast_forward)
         self.now: float = 0.0
         self._seq = 0
         self._live_processes = 0
@@ -160,6 +211,8 @@ class Simulator:
         self._far: List[list] = []       # heap of entries past the window
         #: event-ordering checker (repro.check), None when unchecked
         self.check = None
+        #: (when, seq, callback) of the event :meth:`step` last executed
+        self.last_event: Optional[tuple] = None
 
     # -- scheduling -------------------------------------------------------
 
@@ -176,7 +229,7 @@ class Simulator:
         self._seq += 1
         when = self.now + delay
         entry = [when, self._seq, fn, args]
-        if self.scheduler == "wheel":
+        if self._wheel:
             if when < self._window_end:
                 # inside the active window: exact (time, seq) position
                 # past the consume cursor — two C-level list operations
@@ -188,14 +241,42 @@ class Simulator:
         return entry
 
     def at(self, when: float, fn: Callable[..., None], *args: Any) -> list:
-        """Run ``fn(*args)`` at absolute simulated time ``when``."""
-        return self.schedule(when - self.now, fn, *args)
+        """Run ``fn(*args)`` at absolute simulated time ``when``.
+
+        Body mirrors :meth:`schedule` (the switch calls this twice per
+        packet hand-off) including the ``now + (when - now)`` round-trip,
+        which is not a float identity — timestamps must stay bit-identical
+        to the delegating form.
+        """
+        delay = when - self.now
+        if delay < 0.0:
+            if delay < -NEGATIVE_DELAY_EPSILON:
+                raise ValueError(f"cannot schedule in the past (delay={delay})")
+            delay = 0.0  # accumulated float error, not intent
+        self._seq += 1
+        when = self.now + delay
+        entry = [when, self._seq, fn, args]
+        if self._wheel:
+            if when < self._window_end:
+                insort(self._cur_list, entry, self._cur_idx)
+            else:
+                heappush(self._far, entry)
+        else:
+            heappush(self._queue, entry)
+        return entry
 
     def call_later(self, delay: float, fn: Callable[..., None],
                    *args: Any) -> TimerHandle:
-        """Schedule a cancellable timer; returns its :class:`TimerHandle`."""
+        """Schedule a cancellable timer; returns its :class:`TimerHandle`.
+
+        The queue entry carries the handle's generation at schedule time;
+        :meth:`TimerHandle._fire` refuses entries whose generation no
+        longer matches, so even an entry that escapes tombstoning (an
+        engine bug) cannot fire a cancelled timer.
+        """
         handle = TimerHandle(self)
-        handle._entry = self.schedule(delay, handle._fire, fn, args)
+        handle._entry = self.schedule(delay, handle._fire, handle.gen,
+                                      fn, args)
         return handle
 
     def event(self, name: str = "") -> Event:
@@ -230,7 +311,7 @@ class Simulator:
         if not far:
             return None
         # next window starts at the earliest far timer; draining the heap
-        # in pop order yields the window's entries already sorted
+        # in pop order yields the next window's entries already sorted
         w_end = far[0][0] + self._window_us
         entries = [heappop(far)]
         while far and far[0][0] < w_end:
@@ -242,22 +323,73 @@ class Simulator:
 
     def _peek(self) -> Optional[list]:
         """The next queue entry without consuming it (either scheduler)."""
-        if self.scheduler == "wheel":
+        if self._wheel:
             return self._advance()
         return self._queue[0] if self._queue else None
 
     def _consume(self, entry: list) -> None:
         """Remove the entry returned by :meth:`_peek` from the queue."""
-        if self.scheduler == "wheel":
+        if self._wheel:
             self._cur_idx += 1
         else:
             heappop(self._queue)
 
+    def _next_live(self) -> Optional[list]:
+        """Position the queue at its next *live* entry and return it
+        without consuming it; None when the queue is empty.
+
+        Tombstoned (cancelled) entries in front of it are consumed here —
+        counted in ``stale_events_skipped``, reported to the checker,
+        never executed.  This is the single stale-entry-skip
+        implementation shared by :meth:`step`, :meth:`run`, and
+        :meth:`run_until_processes_done`; because the skip happens before
+        any ``until``/``limit`` gate, those gates only ever see entries
+        that will actually execute — a cancelled far-future keep-alive
+        timer can neither stop a bounded run early nor trip its time
+        limit.
+        """
+        check = self.check
+        if self._wheel:
+            while True:
+                i = self._cur_idx
+                cur = self._cur_list
+                if i >= len(cur):
+                    if self._advance() is None:
+                        return None
+                    continue  # cursor now points into the new window
+                entry = cur[i]
+                if entry[2] is not None:
+                    return entry
+                self._cur_idx = i + 1
+                self.stale_events_skipped += 1
+                self._stale_pending -= 1
+                if check is not None:
+                    check.on_stale(entry)
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if entry[2] is not None:
+                return entry
+            heappop(queue)
+            self.stale_events_skipped += 1
+            self._stale_pending -= 1
+            if check is not None:
+                check.on_stale(entry)
+        return None
+
     def _pending_count(self) -> int:
-        """Live + tombstoned entries still queued (debug/repr)."""
-        if self.scheduler == "wheel":
+        """Queued entries **including tombstones** (debug/repr).  Use
+        :meth:`live_pending_count` for "how much will actually run"."""
+        if self._wheel:
             return len(self._cur_list) - self._cur_idx + len(self._far)
         return len(self._queue)
+
+    def live_pending_count(self) -> int:
+        """Queued entries that will actually execute — tombstoned
+        (cancelled) timers excluded.  Quiesce predicates must use this:
+        a cancelled long keep-alive timer still occupies a queue slot
+        but represents no future work."""
+        return self._pending_count() - self._stale_pending
 
     # -- running ----------------------------------------------------------
 
@@ -273,34 +405,28 @@ class Simulator:
         Tombstoned (cancelled) entries are discarded without executing;
         they neither count as the step nor appear in ``last_event``.
         """
+        entry = self._next_live()
+        if entry is None:
+            return False
+        self._consume(entry)
+        fn = entry[2]
+        self.now = entry[0]
+        self.events_executed += 1
         check = self.check
-        while True:
-            entry = self._peek()
-            if entry is None:
-                return False
-            self._consume(entry)
-            fn = entry[2]
-            if fn is None:
-                self.stale_events_skipped += 1
-                self._stale_pending -= 1
-                if check is not None:
-                    check.on_stale(entry)
-                continue
-            self.now = entry[0]
-            self.events_executed += 1
-            if check is not None:
-                check.on_execute(entry)
-            #: (when, seq, callback) of the event just executed — feeds
-            #: the event-order digests of the differential tests
-            self.last_event = (entry[0], entry[1], fn)
-            fn(*entry[3])
-            return True
+        if check is not None:
+            check.on_execute(entry)
+        #: (when, seq, callback) of the event just executed — feeds
+        #: the event-order digests of the differential tests
+        self.last_event = (entry[0], entry[1], fn)
+        fn(*entry[3])
+        return True
 
     def run(
         self,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
         check_deadlock: bool = True,
+        idle_fast_forward: Optional[bool] = None,
     ) -> float:
         """Drain the event queue.
 
@@ -309,55 +435,37 @@ class Simulator:
         :param max_events: safety valve against runaway protocol loops.
         :param check_deadlock: raise :class:`DeadlockError` if the queue
             drains while processes remain blocked on events.
+        :param idle_fast_forward: override the simulator-wide default for
+            this run; the fast drain and the reference path execute
+            identical event orders.
         :returns: the final simulated time.
         """
-        executed = 0
-        wheel = self.scheduler == "wheel"
-        queue = self._queue
-        check = self.check
-        while True:
-            # inline peek: the current-slot fast path avoids a method call
-            # per event (this loop is the simulator's hottest code)
-            if wheel:
-                i = self._cur_idx
-                cur = self._cur_list
-                if i < len(cur):
-                    entry = cur[i]
-                else:
-                    entry = self._advance()
-                    if entry is None:
-                        break
-                    i = 0
-                    cur = self._cur_list
-            else:
-                if not queue:
+        ff = (self.idle_fast_forward if idle_fast_forward is None
+              else idle_fast_forward)
+        if ff and self._wheel:
+            if not self._drain_fast(until, max_events):
+                return self.now  # stopped at `until`
+        else:
+            executed = 0
+            while True:
+                entry = self._next_live()
+                if entry is None:
                     break
-                entry = queue[0]
-            when = entry[0]
-            if until is not None and when > until:
-                self.now = until
-                return self.now
-            if wheel:
-                self._cur_idx = i + 1
-            else:
-                heappop(queue)
-            fn = entry[2]
-            if fn is None:
-                self.stale_events_skipped += 1
-                self._stale_pending -= 1
-                if check is not None:
-                    check.on_stale(entry)
-                continue
-            if max_events is not None and executed >= max_events:
-                raise SimTimeoutError(
-                    f"exceeded max_events={max_events} at t={self.now:.3f}us"
-                )
-            self.now = when
-            self.events_executed += 1
-            executed += 1
-            if check is not None:
-                check.on_execute(entry)
-            fn(*entry[3])
+                when = entry[0]
+                if until is not None and when > until:
+                    self.now = until
+                    return self.now
+                if max_events is not None and executed >= max_events:
+                    raise SimTimeoutError(
+                        f"exceeded max_events={max_events} at t={self.now:.3f}us"
+                    )
+                self._consume(entry)
+                self.now = when
+                self.events_executed += 1
+                executed += 1
+                if self.check is not None:
+                    self.check.on_execute(entry)
+                entry[2](*entry[3])
         if check_deadlock and self._blocked_processes > 0:
             raise DeadlockError(
                 f"event queue drained at t={self.now:.3f}us with "
@@ -365,19 +473,114 @@ class Simulator:
             )
         return self.now
 
+    def _drain_fast(self, until: Optional[float],
+                    max_events: Optional[int]) -> bool:
+        """Idle-fast-forward drain (wheel scheduler): returns True when the
+        queue is empty, False when stopped at ``until``.
+
+        The loop positions on the next live entry — consuming any run of
+        tombstones in one bulk skip — then batch-executes every live entry
+        sharing that timestamp: the clock store and the ``until`` compare
+        happen once per timestamp, and each dispatch re-reads the entry's
+        callback slot so a cancel() issued earlier in the batch is still
+        honoured (see :class:`TimerHandle`).
+        """
+        check = self.check
+        event_cap = float("inf") if max_events is None else max_events
+        plain = check is None and max_events is None
+        executed = 0
+        # ``executed`` is folded into the public counter on every exit
+        # path (including callback exceptions) instead of per event
+        try:
+            while True:
+                i = self._cur_idx
+                cur = self._cur_list
+                if i >= len(cur):
+                    if self._advance() is None:
+                        return True
+                    i = self._cur_idx
+                    cur = self._cur_list
+                entry = cur[i]
+                fn = entry[2]
+                if fn is None:
+                    # fast-forward: consume the tombstone run in one bulk skip
+                    n = len(cur)
+                    j = i + 1
+                    while j < n and cur[j][2] is None:
+                        j += 1
+                    self._cur_idx = j
+                    self.stale_events_skipped += j - i
+                    self._stale_pending -= j - i
+                    if check is not None:
+                        for k in range(i, j):
+                            check.on_stale(cur[k])
+                    continue
+                when = entry[0]
+                if until is not None and when > until:
+                    self.now = until
+                    return False
+                self.now = when
+                # Batched same-timestamp dispatch.  Callbacks never consume
+                # events (no reentrant step/run in this codebase), so the
+                # cursor needs writing, not re-reading, per dispatch.  The
+                # unchecked/uncapped variant drops two per-dispatch
+                # branches — this loop body is the per-event floor of the
+                # whole simulator.
+                if plain:
+                    while True:
+                        self._cur_idx = i = i + 1
+                        executed += 1
+                        fn(*entry[3])
+                        cur = self._cur_list
+                        if i >= len(cur):
+                            break
+                        entry = cur[i]
+                        if entry[0] != when:
+                            break
+                        fn = entry[2]
+                        if fn is None:
+                            break
+                    continue
+                while True:
+                    if executed >= event_cap:
+                        raise SimTimeoutError(
+                            f"exceeded max_events={max_events} "
+                            f"at t={self.now:.3f}us"
+                        )
+                    self._cur_idx = i = i + 1
+                    executed += 1
+                    if check is not None:
+                        check.on_execute(entry)
+                    fn(*entry[3])
+                    cur = self._cur_list
+                    if i >= len(cur):
+                        break
+                    entry = cur[i]
+                    if entry[0] != when:
+                        break
+                    fn = entry[2]
+                    if fn is None:
+                        break
+        finally:
+            self.events_executed += executed
+
     def run_until_processes_done(
-        self, procs, limit: float = 1e12, max_events: Optional[int] = None
+        self, procs, limit: float = 1e12, max_events: Optional[int] = None,
+        idle_fast_forward: Optional[bool] = None,
     ) -> float:
         """Run until every process in ``procs`` has finished.
 
         Convenience for benchmarks: background processes (e.g. adapter
         service loops) may still have pending events when the measured
-        programs complete.
+        programs complete.  ``limit`` bounds *live* simulated work — a
+        cancelled timer beyond the limit is discarded, not misreported
+        as a timeout.
         """
+        ff = (self.idle_fast_forward if idle_fast_forward is None
+              else idle_fast_forward)
+        if ff and self._wheel:
+            return self._drain_procs_fast(procs, limit, max_events)
         executed = 0
-        wheel = self.scheduler == "wheel"
-        queue = self._queue
-        check = self.check
         # re-check "all done?" only when a process actually finished —
         # the stamp compare is one int per event instead of a scan
         seen_stamp = -1
@@ -386,45 +589,121 @@ class Simulator:
                 seen_stamp = self._finish_stamp
                 if all(p.finished for p in procs):
                     return self.now
-            if wheel:
-                i = self._cur_idx
-                cur = self._cur_list
-                if i < len(cur):
-                    entry = cur[i]
-                else:
-                    entry = self._advance()
-                    if entry is None:
-                        break
-                    i = 0
-                    cur = self._cur_list
-            else:
-                if not queue:
-                    break
-                entry = queue[0]
+            entry = self._next_live()
+            if entry is None:
+                break
             if entry[0] > limit:
                 raise SimTimeoutError(
                     f"simulated time limit {limit}us exceeded; "
                     f"{sum(not p.finished for p in procs)} process(es) unfinished"
                 )
-            if wheel:
-                self._cur_idx = i + 1
-            else:
-                heappop(queue)
-            fn = entry[2]
-            if fn is None:
-                self.stale_events_skipped += 1
-                self._stale_pending -= 1
-                if check is not None:
-                    check.on_stale(entry)
-                continue
             if max_events is not None and executed >= max_events:
                 raise SimTimeoutError(f"exceeded max_events={max_events}")
+            self._consume(entry)
             self.now = entry[0]
             self.events_executed += 1
             executed += 1
-            if check is not None:
-                check.on_execute(entry)
-            fn(*entry[3])
+            if self.check is not None:
+                self.check.on_execute(entry)
+            entry[2](*entry[3])
+        unfinished = [p for p in procs if not p.finished]
+        if unfinished:
+            raise DeadlockError(
+                f"queue drained at t={self.now:.3f}us; unfinished: "
+                + ", ".join(p.name or "<anon>" for p in unfinished)
+            )
+        return self.now
+
+    def _drain_procs_fast(self, procs, limit: float,
+                          max_events: Optional[int]) -> float:
+        """Idle-fast-forward body of :meth:`run_until_processes_done`
+        (wheel scheduler).  Same batching as :meth:`_drain_fast`, plus the
+        finish-stamp compare before every dispatch — a process finishing
+        mid-batch stops the run at exactly the event the reference path
+        would stop at."""
+        check = self.check
+        event_cap = float("inf") if max_events is None else max_events
+        plain = check is None and max_events is None
+        executed = 0
+        seen_stamp = -1
+        try:
+            while True:
+                stamp = self._finish_stamp
+                if seen_stamp != stamp:
+                    seen_stamp = stamp
+                    if all(p.finished for p in procs):
+                        return self.now
+                i = self._cur_idx
+                cur = self._cur_list
+                if i >= len(cur):
+                    if self._advance() is None:
+                        break
+                    i = self._cur_idx
+                    cur = self._cur_list
+                entry = cur[i]
+                fn = entry[2]
+                if fn is None:
+                    n = len(cur)
+                    j = i + 1
+                    while j < n and cur[j][2] is None:
+                        j += 1
+                    self._cur_idx = j
+                    self.stale_events_skipped += j - i
+                    self._stale_pending -= j - i
+                    if check is not None:
+                        for k in range(i, j):
+                            check.on_stale(cur[k])
+                    continue
+                when = entry[0]
+                if when > limit:
+                    raise SimTimeoutError(
+                        f"simulated time limit {limit}us exceeded; "
+                        f"{sum(not p.finished for p in procs)} "
+                        "process(es) unfinished"
+                    )
+                self.now = when
+                # batched same-timestamp dispatch (cursor discipline and
+                # unchecked/uncapped specialization as in
+                # :meth:`_drain_fast`)
+                if plain:
+                    while True:
+                        self._cur_idx = i = i + 1
+                        executed += 1
+                        fn(*entry[3])
+                        if stamp != self._finish_stamp:
+                            break  # a process finished: re-run the done scan
+                        cur = self._cur_list
+                        if i >= len(cur):
+                            break
+                        entry = cur[i]
+                        if entry[0] != when:
+                            break
+                        fn = entry[2]
+                        if fn is None:
+                            break
+                    continue
+                while True:
+                    if executed >= event_cap:
+                        raise SimTimeoutError(
+                            f"exceeded max_events={max_events}")
+                    self._cur_idx = i = i + 1
+                    executed += 1
+                    if check is not None:
+                        check.on_execute(entry)
+                    fn(*entry[3])
+                    if stamp != self._finish_stamp:
+                        break  # a process finished: re-run the done scan
+                    cur = self._cur_list
+                    if i >= len(cur):
+                        break
+                    entry = cur[i]
+                    if entry[0] != when:
+                        break
+                    fn = entry[2]
+                    if fn is None:
+                        break
+        finally:
+            self.events_executed += executed
         unfinished = [p for p in procs if not p.finished]
         if unfinished:
             raise DeadlockError(
@@ -436,6 +715,7 @@ class Simulator:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"Simulator(t={self.now:.3f}us, {self.scheduler}, "
-            f"queued={self._pending_count()}, "
+            f"queued={self._pending_count()} "
+            f"({self.live_pending_count()} live), "
             f"live={self._live_processes}, blocked={self._blocked_processes})"
         )

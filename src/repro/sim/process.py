@@ -26,7 +26,7 @@ class Process:
     """A generator registered with a :class:`~repro.sim.engine.Simulator`."""
 
     __slots__ = ("sim", "gen", "name", "done", "finished", "result", "error",
-                 "_waiting", "_send", "_resume")
+                 "_waiting", "_send", "_resume", "_schedule")
 
     def __init__(self, sim, gen: Generator, name: str = ""):
         self.sim = sim
@@ -41,13 +41,14 @@ class Process:
         # callback would otherwise rebuild the bound method
         self._send = gen.send
         self._resume = self._step
+        self._schedule = sim.schedule
         sim._process_started()
         # First step at the current instant, after already-queued events.
-        sim.schedule(0.0, self._resume, None)
+        sim.schedule(0.0, self._resume)
 
     # -- engine-facing ----------------------------------------------------
 
-    def _step(self, send_value: Any) -> None:
+    def _step(self, send_value: Any = None) -> None:
         if self.finished:
             return  # stale wakeup after kill()
         if self._waiting:
@@ -64,7 +65,9 @@ class Process:
         # dispatch, most frequent instruction first
         cls = instr.__class__
         if cls is Delay:
-            self.sim.schedule(instr.duration, self._resume, None)
+            # no args: a plain-Delay resume sends None, and skipping the
+            # (None,) pack/unpack matters at one resume per event
+            self._schedule(instr.duration, self._resume)
         elif cls is WaitEvent:
             self._waiting = True
             self.sim._process_blocked()

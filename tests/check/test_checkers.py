@@ -299,7 +299,7 @@ class TestSchedulerCheck:
         sim = Simulator()
         ck = SchedulerCheck(Sanitizer(), "sched", sim)
         ck.on_execute([1.0, 5, None, ()])
-        with pytest.raises(InvariantViolation, match="executed after"):
+        with pytest.raises(InvariantViolation, match="consumed .* after"):
             ck.on_execute([1.0, 4, None, ()])
 
 

@@ -9,6 +9,8 @@ with events landing on, inside, and far beyond the active window.
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sim import Simulator
 from repro.sim.engine import NEGATIVE_DELAY_EPSILON, TimerHandle
@@ -25,13 +27,15 @@ from repro.sim.primitives import TIMED_OUT, Delay, Timeout
 _DELAY_MENU = (0.0, 0.13, 1.0, 7.5, 63.9, 64.0, 64.1, 200.0, 5_000.0)
 
 
-def _run_random_workload(scheduler, seed, window_us=64.0, spawn_cap=2_000):
+def _run_random_workload(scheduler, seed, window_us=64.0, spawn_cap=2_000,
+                         idle_fast_forward=True):
     """Self-similar random workload: callbacks schedule more callbacks
     and randomly cancel pending timers.  Decisions are drawn from a
     seeded RNG in execution order, so two schedulers draw identical
     decisions iff they execute identical event orders — any divergence
     snowballs into a log mismatch."""
-    sim = Simulator(scheduler=scheduler, wheel_window_us=window_us)
+    sim = Simulator(scheduler=scheduler, wheel_window_us=window_us,
+                    idle_fast_forward=idle_fast_forward)
     rng = random.Random(seed)
     log = []
     handles = []
@@ -86,6 +90,136 @@ def test_same_time_events_run_in_insertion_order_across_window_refills():
     sim.run()
     assert log == ["first", "second", "third"]
     assert sim.now == 500.0
+
+
+# ---------------------------------------------------------------------------
+# idle fast-forward: pure optimization, must be behaviour-invisible
+# ---------------------------------------------------------------------------
+
+def _run_random_timeout_workload(scheduler, seed, idle_fast_forward=True):
+    """Processes racing events against timeouts.  Every event win leaves a
+    cancelled timer tombstone in the queue, and every gap between firings
+    is an idle stretch the fast-forward path may jump — exactly the state
+    it must cross without executing, reordering, or dropping anything."""
+    sim = Simulator(scheduler=scheduler, idle_fast_forward=idle_fast_forward)
+    rng = random.Random(seed)
+    log = []
+
+    def waiter(i):
+        ev = sim.event(f"ev{i}")
+        fire_at = rng.random() * 400.0
+        timeout = 1e-9 + rng.random() * 400.0
+        if rng.random() < 0.6:
+            sim.schedule(fire_at, ev.succeed, i)
+        value = yield Timeout(ev, timeout)
+        log.append((sim.now, i, value is TIMED_OUT))
+        # long tail delays leave genuinely idle gaps between survivors
+        yield Delay(rng.choice((0.0, 3.0, 750.0, 12_000.0)))
+        log.append((sim.now, i, "done"))
+
+    procs = [sim.spawn(waiter(i), name=f"w{i}") for i in range(25)]
+    sim.run_until_processes_done(procs, limit=1e9)
+    return sim, log
+
+
+def _assert_runs_identical(a, b):
+    sim_a, log_a = a
+    sim_b, log_b = b
+    assert log_a == log_b
+    assert sim_a.now == sim_b.now
+    assert sim_a.events_executed == sim_b.events_executed
+    assert sim_a.stale_events_skipped == sim_b.stale_events_skipped
+
+
+class TestIdleFastForwardEquivalence:
+    """Property: fast-forward on vs off is observation-identical — same
+    execution log (the event-order digest of these workloads), same final
+    clock, same executed/stale counts."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1),
+           window_us=st.sampled_from([0.5, 16.0, 64.0, 1e9]))
+    def test_random_schedule_cancel(self, seed, window_us):
+        _assert_runs_identical(
+            _run_random_workload("wheel", seed, window_us=window_us,
+                                 spawn_cap=400),
+            _run_random_workload("wheel", seed, window_us=window_us,
+                                 spawn_cap=400, idle_fast_forward=False))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_timeout_races(self, seed):
+        on = _run_random_timeout_workload("wheel", seed)
+        _assert_runs_identical(
+            on, _run_random_timeout_workload("wheel", seed,
+                                             idle_fast_forward=False))
+        # and both must match the reference heap scheduler
+        _assert_runs_identical(on, _run_random_timeout_workload("heap", seed))
+
+
+def test_live_pending_count_excludes_tombstones():
+    sim = Simulator()
+    handles = [sim.call_later(1_000.0 * (i + 1), lambda: None)
+               for i in range(5)]
+    sim.schedule(10.0, lambda: None)
+    assert sim.live_pending_count() == 6
+    for h in handles[1:]:
+        h.cancel()
+    assert sim.live_pending_count() == 2
+    sim.run()
+    assert sim.live_pending_count() == 0
+    assert sim.stale_events_skipped == 4
+
+
+# ---------------------------------------------------------------------------
+# cancel racing a same-timestamp batch (regression: the batched dispatch
+# loops must re-read the callback slot, not capture it at batch start)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("idle_fast_forward", [True, False])
+@pytest.mark.parametrize("scheduler", ["wheel", "heap"])
+class TestSameInstantCancelRace:
+    def test_cancel_of_later_same_instant_entry_never_fires(
+            self, scheduler, idle_fast_forward):
+        # the canceller executes at (T, seq_a); the victim timer sits at
+        # (T, seq_b > seq_a) in the same dispatch batch
+        sim = Simulator(scheduler=scheduler,
+                        idle_fast_forward=idle_fast_forward)
+        fired = []
+        h = []
+        sim.schedule(5.0, lambda: h[0].cancel())
+        h.append(sim.call_later(5.0, fired.append, "boom"))
+        sim.run()
+        assert fired == []
+        assert sim.events_executed == 1
+        assert sim.stale_events_skipped == 1
+
+    def test_cancel_then_reschedule_same_instant_fires_once(
+            self, scheduler, idle_fast_forward):
+        sim = Simulator(scheduler=scheduler,
+                        idle_fast_forward=idle_fast_forward)
+        fired = []
+        h = []
+
+        def flip():
+            h[0].cancel()
+            h[0] = sim.call_later(0.0, fired.append, "new")
+
+        sim.schedule(5.0, flip)
+        h.append(sim.call_later(5.0, fired.append, "old"))
+        sim.run()
+        assert fired == ["new"]
+        assert sim.stale_events_skipped == 1
+
+    def test_stale_generation_fire_fails_loudly(
+            self, scheduler, idle_fast_forward):
+        sim = Simulator(scheduler=scheduler,
+                        idle_fast_forward=idle_fast_forward)
+        h = sim.call_later(1.0, lambda: None)
+        stale_gen = h.gen
+        h.cancel()
+        with pytest.raises(RuntimeError):
+            h._fire(stale_gen, lambda: None, ())
 
 
 # ---------------------------------------------------------------------------

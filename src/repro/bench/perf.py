@@ -431,6 +431,33 @@ def run_ff_determinism(sizes: Optional[Dict[str, tuple]] = None) -> Dict:
 
 
 # ---------------------------------------------------------------------------
+# critical-path attribution (embedded in the perf report)
+# ---------------------------------------------------------------------------
+
+def _attribution_section(iterations: int) -> Dict:
+    """A small *observed* AM ping-pong whose critical-path rollup the
+    perf report embeds.  Runs on its own simulator so the timed
+    workloads above stay unobserved — their walls measure the engine,
+    not the tracing."""
+    from repro.bench.pingpong import am_roundtrip_observed
+    from repro.obs.critpath import (
+        attribution_coverage,
+        bottleneck_verdict,
+        critpath_rollup,
+    )
+
+    mean, obs = am_roundtrip_observed(1, iterations)
+    rollup = critpath_rollup(obs)
+    return {
+        "iterations": iterations,
+        "mean_rtt_us": mean,
+        "coverage": attribution_coverage(obs, mean),
+        "rollup_all": rollup.get("ALL", {}),
+        "verdict": bottleneck_verdict(rollup),
+    }
+
+
+# ---------------------------------------------------------------------------
 # suite driver + regression gate
 # ---------------------------------------------------------------------------
 
@@ -485,6 +512,7 @@ def run_perf(
         "workloads": workloads,
         "determinism": run_determinism(digest_sizes),
         "determinism_ff": run_ff_determinism(ff_digest_sizes),
+        "attribution": _attribution_section(50 if quick else 200),
         "baseline_pre_pr": dict(PRE_PR_BASELINE),
     }
 
@@ -506,6 +534,10 @@ def report_entries(data: Dict) -> List[tuple]:
         if "ratio_ff_on_over_off" in per:
             entries.append((f"{name} idle-ff on/off eps ratio", None,
                             per["ratio_ff_on_over_off"]))
+    att = data.get("attribution")
+    if att is not None:
+        entries.append(("pingpong attribution coverage", 1.0,
+                        att["coverage"]["coverage"]))
     return entries
 
 

@@ -1,0 +1,222 @@
+"""``spam-bench profile`` — the critical-path + metrics profiling suite.
+
+Runs three observed workloads, each with the periodic gauge sampler
+attached (:meth:`Observatory.start_sampler`), and reduces every one to
+the same evidence bundle:
+
+* **pingpong** — the §2.3 AM ping-pong on 2 thin nodes.  The per-stage
+  critical-path attribution must explain >= 95% of the measured RTT
+  (``coverage``), reproducing Table 2 / §2.3 from live span marks.
+* **bulk** — a multi-chunk blocking ``am_store`` stream, where the
+  windowed pipeline (not per-message latency) dominates and the verdict
+  should move toward wire/DMA occupancy.
+* **soak** — the chaos soak under packet loss, where retransmit backoff
+  and NACK traffic enter the critical path.
+
+Each workload yields a critical-path rollup
+(:func:`~repro.obs.critpath.critpath_rollup`), the top-K slowest message
+exemplars with their full mark timelines, a bottleneck verdict naming the
+dominant stage plus its saturated gauge, and the sampler's gauge
+summaries.  :func:`render_dashboard` turns the bundle into the
+``top``-style console view; the CLI writes it all as
+``BENCH_obsprofile.json`` (validated by
+``repro.obs.schema.validate_bench_report``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.critpath import (
+    attribution_coverage,
+    bottleneck_verdict,
+    critpath_rollup,
+    slowest_exemplars,
+)
+
+#: attribution must explain at least this fraction of the measured RTT
+COVERAGE_FLOOR = 0.95
+
+#: (iterations, bulk bytes, soak pingpongs) per mode
+_FULL = (200, 64 * 1024, 24)
+_QUICK = (40, 16 * 1024, 8)
+
+
+def _workload_bundle(obs, k: int, coverage: Optional[Dict] = None) -> Dict:
+    """The common per-workload evidence: rollup, exemplars, verdict,
+    gauge summaries."""
+    rollup = critpath_rollup(obs)
+    bundle = {
+        "rollup": rollup,
+        "exemplars": slowest_exemplars(obs, k),
+        "verdict": bottleneck_verdict(rollup, obs.metrics),
+        "gauges": obs.metrics.snapshot() if obs.metrics is not None else {},
+        "spans": len(obs.spans),
+        "sampler_ticks": (obs.metrics.samples_taken
+                          if obs.metrics is not None else 0),
+    }
+    if coverage is not None:
+        bundle["coverage"] = coverage
+    return bundle
+
+
+def _profile_pingpong(iterations: int, period_us: float, k: int,
+                      words: int = 1) -> Tuple[Dict, float, object]:
+    from repro.am import attach_am
+    from repro.bench.pingpong import _am_pingpong
+    from repro.hardware.machine import build_machine
+    from repro.obs import Observatory
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    machine = build_machine(sim, 2, "sp-thin")
+    obs = Observatory().attach(machine)
+    attach_am(machine)
+    obs.start_sampler(period_us=period_us)
+    mean_rtt = _am_pingpong(machine, words, iterations)
+    cov = attribution_coverage(obs, mean_rtt)
+    return _workload_bundle(obs, k, coverage=cov), mean_rtt, obs
+
+
+def _profile_bulk(nbytes: int, period_us: float, k: int) -> Tuple[Dict, float]:
+    from repro.am import attach_spam
+    from repro.hardware.machine import build_sp_machine
+    from repro.obs import Observatory
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    machine = build_sp_machine(sim, 2)
+    obs = Observatory().attach(machine)
+    ams = attach_spam(machine)
+    obs.start_sampler(period_us=period_us)
+    src = machine.nodes[0].memory.alloc(nbytes)
+    dst = machine.nodes[1].memory.alloc(nbytes)
+    machine.nodes[0].memory.write(src, bytes(i % 251 for i in range(nbytes)))
+
+    def storer():
+        yield from ams[0].store(1, src, dst, nbytes)
+
+    def server():
+        while machine.nodes[1].memory.read(dst, 1) == b"\x00":
+            yield from ams[1]._wait_progress()
+
+    t0 = sim.now
+    p = sim.spawn(storer(), name="bulk-store")
+    sim.spawn(server(), name="bulk-serve")
+    sim.run_until_processes_done([p], limit=1e9)
+    elapsed = sim.now - t0
+    return _workload_bundle(obs, k), elapsed
+
+
+def _profile_soak(pingpong: int, period_us: float, k: int,
+                  seed: int = 7, loss: float = 0.03) -> Tuple[Dict, object]:
+    from repro.faults import run_soak
+
+    result = run_soak(seed=seed, loss=loss, nodes=2, pingpong=pingpong,
+                      compare_clean=False, sample_period_us=period_us)
+    bundle = _workload_bundle(result.obs, k)
+    bundle["violations"] = result.violations
+    bundle["injected"] = result.total_injected
+    return bundle, result
+
+
+def run_profile(quick: bool = False, period_us: float = 50.0,
+                topk: int = 5) -> Dict:
+    """Run the three profiled workloads; return the full evidence bundle.
+
+    The returned dict carries ``entries`` (report rows), ``profile``
+    (the per-workload bundles for the report's ``profile`` section),
+    ``obs`` (the ping-pong observatory, for trace export), and ``ok``
+    (False when attribution coverage fell below :data:`COVERAGE_FLOOR`
+    or the soak leg saw violations).
+    """
+    iters, bulk_bytes, soak_pp = _QUICK if quick else _FULL
+
+    pp_bundle, mean_rtt, pp_obs = _profile_pingpong(iters, period_us, topk)
+    bulk_bundle, bulk_elapsed = _profile_bulk(bulk_bytes, period_us, topk)
+    soak_bundle, soak_result = _profile_soak(soak_pp, period_us, topk)
+
+    coverage = pp_bundle["coverage"]["coverage"]
+    entries: List[Tuple[str, Optional[float], float]] = [
+        ("pingpong rtt (us)", 51.0, mean_rtt),
+        ("pingpong attribution coverage", 1.0, coverage),
+        ("bulk store elapsed (us)", None, bulk_elapsed),
+        ("bulk bytes", None, float(bulk_bytes)),
+        ("soak elapsed (us)", None, soak_result.elapsed_us),
+        ("soak faults injected", None, float(soak_result.total_injected)),
+        ("soak retransmit backoff (us)", None,
+         sum(s.backoff_us for s in soak_result.obs.spans.values())),
+    ]
+    return {
+        "entries": entries,
+        "profile": {
+            "period_us": period_us,
+            "quick": quick,
+            "workloads": {
+                "pingpong": pp_bundle,
+                "bulk": bulk_bundle,
+                "soak": soak_bundle,
+            },
+        },
+        "obs": pp_obs,
+        "ok": (coverage >= COVERAGE_FLOOR
+               and not soak_result.violations),
+    }
+
+
+# ---------------------------------------------------------------------------
+# console dashboard
+# ---------------------------------------------------------------------------
+
+def _fmt_verdict(verdict: Dict) -> str:
+    if verdict.get("stage") is None:
+        return "no attributed spans"
+    line = (f"bottleneck: {verdict['stage']} "
+            f"({verdict['share'] * 100.0:.1f}% of attributed time, "
+            f"mean {verdict['mean_us']:.2f} us)")
+    if verdict.get("gauge"):
+        line += (f"; saturated gauge {verdict['gauge']} "
+                 f"p95={verdict['gauge_p95']:.3g} "
+                 f"max={verdict['gauge_max']:.3g}")
+    return line
+
+
+def render_dashboard(data: Dict) -> str:
+    """The ``top``-style console view of :func:`run_profile` output."""
+    from repro.bench.report import fmt_table
+
+    out: List[str] = []
+    prof = data["profile"]
+    out.append(f"critical-path profile "
+               f"(sampler period {prof['period_us']:.0f} us"
+               f"{', quick' if prof.get('quick') else ''})")
+    for wname, w in prof["workloads"].items():
+        rows = []
+        for stage, cell in w["rollup"].get("ALL", {}).items():
+            rows.append((stage, cell["count"],
+                         round(cell["mean_us"], 2),
+                         round(cell["max_us"], 2),
+                         f"{cell['share'] * 100.0:.1f}%"))
+        out.append(fmt_table(
+            f"{wname}: critical path ({w['spans']} spans, "
+            f"{w['sampler_ticks']} sampler ticks)",
+            ["stage", "count", "mean", "max", "share"], rows))
+        out.append(f"  {_fmt_verdict(w['verdict'])}")
+        cov = w.get("coverage")
+        if cov is not None:
+            out.append(
+                f"  attribution: {cov['attributed_us']:.2f} us of "
+                f"{cov['measured_rtt_us']:.2f} us measured RTT "
+                f"({cov['coverage'] * 100.0:.1f}% explained; floor "
+                f"{COVERAGE_FLOOR * 100.0:.0f}%)")
+        ex = w.get("exemplars") or ()
+        if ex:
+            worst = ex[0]
+            stages = sorted(worst["stages"].items(),
+                            key=lambda kv: -kv[1])[:3]
+            out.append(
+                f"  slowest message: trace {worst['trace_id']} "
+                f"{worst['kind']} {worst['src']}->{worst['dst']} "
+                f"{worst['total_us']:.2f} us (top stages: "
+                + ", ".join(f"{s} {d:.2f}" for s, d in stages) + ")")
+    return "\n".join(out)

@@ -154,6 +154,10 @@ class CampaignResult:
     #: the run raised and stopped early (conservation checks skipped)
     aborted: bool = False
     ops: List[dict] = field(default_factory=list, repr=False)
+    #: critical-path rollup over every traced message (stage ->
+    #: count/total_us/mean_us/max_us/share), for the check report's
+    #: attribution section
+    critpath: Dict[str, Dict] = field(default_factory=dict, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -466,6 +470,7 @@ def run_campaign(
     camp = _CheckCampaign(seed, nodes, ops, loss, collect, limit, only)
     elapsed = camp.run()
     from repro.check.core import RecvWindowCheck
+    from repro.obs.critpath import critpath_rollup
 
     units = 0
     digest = 0
@@ -478,6 +483,7 @@ def run_campaign(
         violations=camp.violations, checks=camp.san.snapshot(),
         delivered_units=units, digest=digest, elapsed_us=elapsed,
         aborted=camp.aborted, ops=ops,
+        critpath=critpath_rollup(camp.obs, by_kind=False).get("ALL", {}),
     )
 
 

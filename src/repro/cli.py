@@ -11,6 +11,10 @@ Usage::
     spam-bench table5 [--keys 2048]
     spam-bench nas [BT|FT|LU|MG|SP] [--variant mpi-am|mpi-f]
     spam-bench inspect FILE...          # validate + summarize traces/reports
+    spam-bench validate FILE...         # schema validation only (CI gate)
+    spam-bench profile [--quick] [--period-us 50] [--topk 5]
+                                        # metrics sampler + critical-path
+                                        # attribution over three workloads
     spam-bench soak --seed 7 --loss 0.05 [--chaos]
                                         # chaos campaign vs the reliability layer
     spam-bench perf [--quick] [--check BENCH_simperf.json]
@@ -230,15 +234,61 @@ def cmd_nas(args) -> None:
                     ["bench", "MPI-F", "MPI-AM", "ratio", "ok"], rows))
 
 
+def cmd_profile(args) -> int:
+    from repro.bench.profile import (
+        COVERAGE_FLOOR,
+        render_dashboard,
+        run_profile,
+    )
+
+    data = run_profile(quick=args.quick, period_us=args.period_us,
+                       topk=args.topk)
+    print(render_dashboard(data))
+    if args.trace_out:
+        from repro.obs import write_chrome_trace
+
+        try:
+            write_chrome_trace(data["obs"], args.trace_out)
+        except OSError as e:
+            raise SystemExit(f"spam-bench: cannot write trace: {e}")
+        print(f"trace: {args.trace_out} (chrome, with counter tracks)")
+    _write_report(args, "obsprofile", data["entries"], obs=data["obs"],
+                  extra={"profile": data["profile"]})
+    if not data["ok"]:
+        cov = data["profile"]["workloads"]["pingpong"]["coverage"]
+        print(f"FAIL: attribution coverage "
+              f"{cov['coverage'] * 100.0:.1f}% below the "
+              f"{COVERAGE_FLOOR * 100.0:.0f}% floor, or the soak leg "
+              f"saw violations")
+        return 1
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.obs.validate import main as validate_main
+
+    return validate_main(args.files)
+
+
 def cmd_soak(args) -> int:
     from repro.faults import run_soak
+    from repro.obs.critpath import bottleneck_verdict, critpath_rollup
 
     result = run_soak(
         seed=args.seed, loss=args.loss, nodes=args.nodes,
         pingpong=args.pingpong, chaos=args.chaos,
         compare_clean=not args.no_clean,
+        sample_period_us=args.sample_period_us,
     )
     print("\n".join(result.summary_lines()))
+    critpath = critpath_rollup(result.obs)
+    verdict = bottleneck_verdict(critpath, result.obs.metrics)
+    if verdict["stage"] is not None:
+        line = (f"  critical path: {verdict['stage']} dominates "
+                f"({verdict['share'] * 100.0:.1f}% of attributed time)")
+        if verdict.get("gauge"):
+            line += f", gauge {verdict['gauge']} p95={verdict['gauge_p95']:.3g}"
+        print(line)
     if args.trace_out:
         from repro.obs import write_jsonl
 
@@ -265,6 +315,7 @@ def cmd_soak(args) -> int:
         "chaos": result.chaos,
         "injected_counts": result.injected_counts,
         "violations": result.violations,
+        "critpath": critpath, "bottleneck": verdict,
     })
     return 1 if result.violations else 0
 
@@ -313,6 +364,7 @@ def cmd_check(args) -> int:
             "seed": r.seed, "loss": r.loss, "ok": r.ok,
             "checks": r.checks, "delivered_units": r.delivered_units,
             "digest": r.digest, "violations": r.violations,
+            "critpath": r.critpath,
         } for r in results],
     })
     return 1 if failures else 0
@@ -481,6 +533,24 @@ def main(argv=None) -> int:
     pn.add_argument("kernel", nargs="?", default=None)
     pi = sub.add_parser("inspect")
     pi.add_argument("files", nargs="+", metavar="FILE")
+    pv = sub.add_parser(
+        "validate", help="schema-validate traces/reports (exit 1 on any "
+                         "failure; the CI gate)")
+    pv.add_argument("files", nargs="+", metavar="FILE")
+    pf = sub.add_parser(
+        "profile", help="metrics sampler + critical-path attribution "
+                        "over pingpong/bulk/soak workloads")
+    pf.add_argument("--quick", action="store_true",
+                    help="reduced workloads (CI smoke)")
+    pf.add_argument("--period-us", type=float, default=50.0,
+                    help="gauge sampling period in simulated us "
+                         "(default 50)")
+    pf.add_argument("--topk", type=_positive_int, default=5,
+                    help="slowest-message exemplars per workload")
+    pf.add_argument("--trace-out", metavar="FILE", default=None,
+                    help="dump the ping-pong Chrome trace with counter "
+                         "tracks")
+    _add_report_opts(pf)
     pp = sub.add_parser(
         "perf", help="simulator-core events/sec suite + wheel-vs-heap "
                      "determinism check")
@@ -510,6 +580,10 @@ def main(argv=None) -> int:
                          "(disables the recovery-time bound)")
     ps.add_argument("--trace-out", metavar="FILE", default=None,
                     help="dump the message-span trace (JSONL)")
+    ps.add_argument("--sample-period-us", type=float, default=None,
+                    metavar="US",
+                    help="attach the periodic gauge sampler to the lossy "
+                         "run (default: off)")
     _add_report_opts(ps)
     pc = sub.add_parser(
         "check", help="seeded randomized MPI/AM campaigns under the "
@@ -535,6 +609,10 @@ def main(argv=None) -> int:
         return 0
     if args.cmd == "inspect":
         return cmd_inspect(args)
+    if args.cmd == "validate":
+        return cmd_validate(args)
+    if args.cmd == "profile":
+        return cmd_profile(args)
     if args.cmd == "soak":
         return cmd_soak(args)
     if args.cmd == "perf":

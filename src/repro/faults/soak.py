@@ -170,7 +170,8 @@ class _Campaign:
 
     def __init__(self, nodes: int, pingpong: int, bulk_bytes: int,
                  plan: Optional[FaultPlan], limit: float,
-                 idle_fast_forward: bool = True):
+                 idle_fast_forward: bool = True,
+                 sample_period_us: Optional[float] = None):
         self.nodes = nodes
         self.pingpong = pingpong
         self.bulk_bytes = bulk_bytes
@@ -179,6 +180,12 @@ class _Campaign:
         self.sim = Simulator(idle_fast_forward=idle_fast_forward)
         self.machine = build_sp_machine(self.sim, nodes)
         self.obs = Observatory().attach(self.machine)
+        if sample_period_us is not None:
+            # gauge sampler for critical-path reports; a live recurring
+            # timer defeats _quiesced's live_pending_count()==0 shortcut,
+            # but the explicit per-layer drain checks below still decide
+            # quiescence correctly
+            self.obs.start_sampler(period_us=sample_period_us)
         self.ams = attach_spam(self.machine)
         self.rts = attach_splitc(self.machine)
         self.injector = (install_faults(self.machine, plan)
@@ -404,6 +411,7 @@ def run_soak(
     limit: float = 5e7,
     idle_fast_forward: bool = True,
     sim_check: Optional[object] = None,
+    sample_period_us: Optional[float] = None,
 ) -> SoakResult:
     """Run the soak workload under a fault plan; return the evidence.
 
@@ -414,6 +422,9 @@ def run_soak(
     bound recovery time.  ``idle_fast_forward`` and ``sim_check`` reach
     the lossy campaign's engine — the perf suite uses them to compare
     fast-forward on/off walls and event-order digests on this workload.
+    ``sample_period_us`` starts the periodic gauge sampler on the lossy
+    campaign (default off: the extra timer events would perturb the perf
+    suite's event-order digests).
     """
     if plan is None:
         plan = (FaultPlan.chaos(seed, loss) if chaos
@@ -430,7 +441,8 @@ def run_soak(
                 "fault-free soak run failed: " + "; ".join(clean.violations))
 
     lossy = _Campaign(nodes, pingpong, bulk_bytes, plan=plan, limit=limit,
-                      idle_fast_forward=idle_fast_forward)
+                      idle_fast_forward=idle_fast_forward,
+                      sample_period_us=sample_period_us)
     if sim_check is not None:
         lossy.sim.check = sim_check
     elapsed = lossy.run()

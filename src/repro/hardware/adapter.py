@@ -68,6 +68,10 @@ class TB2Adapter:
         # TX service bookkeeping
         self._tx_free = 0.0
         self._tx_scheduled = False
+        #: cumulative TX occupancy (µs the TX engine was busy); only
+        #: accumulated under an attached Observatory — the metrics
+        #: sampler differences it into per-period utilization
+        self.tx_busy_us = 0.0
         # RX service bookkeeping
         self._rx_free = 0.0
         # per-packet constants hoisted out of the service loops (the
@@ -206,12 +210,20 @@ class TB2Adapter:
         self._c_tx_bytes.value += wire_bytes
         exit_at = start + latency
         if self.obs is not None:
+            #: cumulative TX-engine occupancy; the metrics sampler turns
+            #: deltas of this into per-period adapter utilization
+            self.tx_busy_us += occupancy
             # inlined mark_packet x2: one span lookup for both marks
             span = self.obs.spans.get(pkt.trace_id)
             if span is not None:
                 marks = span.marks
                 if "wire_exit" in marks:
                     span.retransmits += 1  # go-back-N re-entering TX
+                    # recovery wait: last wire exit -> this DMA start is
+                    # the NACK/keep-alive backoff the sender sat through
+                    gap = start - marks["wire_exit"]
+                    if gap > 0.0:
+                        span.backoff_us += gap
                 marks["dma_start"] = start
                 marks["wire_exit"] = exit_at
         for fn in self._departure_listeners:

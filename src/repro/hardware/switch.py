@@ -52,12 +52,17 @@ class Switch:
         #: quiesce predicates need this — a machine is not drained while
         #: the fabric still holds traffic nobody's FIFO shows yet
         self.in_flight = 0
+        #: cumulative wire time serialized onto each destination link
+        #: (µs); only accumulated under an attached Observatory — the
+        #: metrics sampler differences it into per-link utilization
+        self.link_busy_us: Dict[int, float] = {}
 
     def attach(self, node_id: int, adapter: "TB2Adapter") -> None:  # noqa: F821
         if node_id in self._adapters:
             raise ValueError(f"node {node_id} already attached")
         self._adapters[node_id] = adapter
         self._dest_link_free[node_id] = 0.0
+        self.link_busy_us[node_id] = 0.0
 
     @property
     def node_count(self) -> int:
@@ -111,6 +116,7 @@ class Switch:
         dlf[dst] = start + wire_time
         deliver_at = start + self._latency + reorder_hold
         if self.obs is not None:
+            self.link_busy_us[dst] += wire_time
             h = self._queue_hist
             if h is None:
                 h = self._queue_hist = self.obs.hist("switch.queue_us")

@@ -10,6 +10,14 @@ Split-C's profiler — reports into one :class:`Observatory`:
   §2.3 breakdowns from a live run;
 * **histograms** answer p50/p95/p99/max queries for round-trip latency,
   handler run time, window occupancy, and switch queueing;
+* **metrics** (:mod:`repro.obs.metrics`) sample gauges across every layer
+  on a simulated-time timer — FIFO occupancy, window credit, link and TX
+  utilization, scheduler depth, retransmit rates — into bounded ring
+  buffers that also render as Chrome-trace counter tracks;
+* **critical path** (:mod:`repro.obs.critpath`) decomposes each span into
+  staging / queueing / DMA+wire / switch / poll / dispatch / handler /
+  retransmit-backoff time, rolls it up per kind, surfaces the slowest
+  exemplars, and names the bottleneck stage plus its saturated gauge;
 * **exporters** emit Chrome trace-event JSON (open in Perfetto), JSONL
   span dumps (lossless round trip), and counter/histogram snapshots.
 
@@ -24,6 +32,14 @@ See ``docs/observability.md`` for the span model and formats.
 """
 
 from repro.obs.core import Observatory
+from repro.obs.critpath import (
+    CRIT_STAGES,
+    attribution_coverage,
+    bottleneck_verdict,
+    critpath_rollup,
+    critpath_stages,
+    slowest_exemplars,
+)
 from repro.obs.events import EventLog, TraceEvent
 from repro.obs.export import (
     chrome_trace,
@@ -32,6 +48,7 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.hist import Histogram, percentile
+from repro.obs.metrics import MetricsSampler
 from repro.obs.schema import (
     validate_bench_report,
     validate_chrome_trace,
@@ -41,6 +58,13 @@ from repro.obs.span import STAGE_NAMES, STAGES, MessageSpan, span_from_dict
 
 __all__ = [
     "Observatory",
+    "MetricsSampler",
+    "CRIT_STAGES",
+    "critpath_stages",
+    "critpath_rollup",
+    "slowest_exemplars",
+    "bottleneck_verdict",
+    "attribution_coverage",
     "EventLog",
     "TraceEvent",
     "Histogram",

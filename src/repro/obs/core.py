@@ -50,6 +50,10 @@ class Observatory:
         self.fault_events: List[Dict] = []
         #: registries added by hand (machine registries are walked live)
         self._registries: List = []
+        #: periodic gauge sampler (:class:`repro.obs.metrics.MetricsSampler`),
+        #: None until :meth:`start_sampler` — the metrics side is opt-in
+        #: even when spans are being traced
+        self.metrics = None
         self.machine = None
         self._next_trace = 1
         #: kind object -> display name; enum ``.name`` is a descriptor
@@ -72,6 +76,34 @@ class Observatory:
                 if dev is not None:
                     dev.obs = self
         return self
+
+    def start_sampler(self, machine=None, period_us: float = 50.0,
+                      capacity: Optional[int] = None,
+                      max_samples: Optional[int] = None):
+        """Start the periodic gauge sampler on ``machine`` (defaults to
+        the attached one) and return it (also readable as ``metrics``).
+
+        Plants a recurring ``call_later`` timer, so sampled runs must be
+        driven with ``run_until_processes_done`` (or call
+        ``metrics.stop()`` before draining the queue).  Idempotent while
+        a sampler is running.
+        """
+        # deferred import: the hub stays importable without the sampler
+        # and repro.obs.metrics is free to grow without cycles
+        from repro.obs.metrics import DEFAULT_CAPACITY, MetricsSampler
+
+        if self.metrics is not None and self.metrics.running:
+            return self.metrics
+        machine = machine if machine is not None else self.machine
+        if machine is None:
+            raise ValueError("start_sampler needs a machine "
+                             "(none attached yet)")
+        self.metrics = MetricsSampler(
+            self, machine, period_us=period_us,
+            capacity=DEFAULT_CAPACITY if capacity is None else capacity,
+            max_samples=max_samples,
+        ).start()
+        return self.metrics
 
     def add_registry(self, registry) -> None:
         """Track a :class:`~repro.sim.stats.StatRegistry` not reachable
@@ -259,7 +291,7 @@ class Observatory:
             snap_series = getattr(reg, "snapshot_series", None)
             if snap_series is not None:
                 series.update(snap_series())
-        return {
+        snap = {
             "counters": dict(sorted(counters.items())),
             "series": dict(sorted(series.items())),
             "histograms": {name: h.snapshot()
@@ -272,6 +304,13 @@ class Observatory:
             },
             "fault_events": len(self.fault_events),
         }
+        if self.metrics is not None:
+            snap["metrics"] = {
+                "period_us": self.metrics.period_us,
+                "samples_taken": self.metrics.samples_taken,
+                "series": self.metrics.snapshot(),
+            }
+        return snap
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"Observatory(spans={len(self.spans)}, "

@@ -5,7 +5,10 @@ Three machine-readable views of one :class:`~repro.obs.core.Observatory`:
 * :func:`chrome_trace` — the Chrome trace-event format (the ``{
   "traceEvents": [...] }`` flavour), loadable in Perfetto / ``about:tracing``
   with one process row per node plus one for the switch, and thread rows
-  for host / adapter / handler / phase activity.  Timestamps are already
+  for host / adapter / handler / phase activity.  When a
+  :class:`~repro.obs.metrics.MetricsSampler` ran, every gauge series
+  additionally renders as a counter track (``"ph": "C"``) under the
+  process row its ``pid_of`` names.  Timestamps are already
   microseconds — the simulator's native unit — so no scaling happens.
 * :func:`write_jsonl` / :func:`read_jsonl` — a line-per-span dump that
   round-trips losslessly back into :class:`~repro.obs.span.MessageSpan`
@@ -24,6 +27,9 @@ from repro.obs.span import STAGES, MessageSpan, span_from_dict
 
 #: synthetic "process" holding the switch's per-destination-link rows
 SWITCH_PID = 9999
+#: synthetic "process" for machine-wide counter tracks (scheduler depth,
+#: event rates) — matches repro.obs.metrics.GLOBAL_PID
+GLOBAL_PID = 9998
 
 #: thread ids within a node's process row
 TID_HOST = 0
@@ -98,23 +104,39 @@ def chrome_trace(obs: Observatory) -> Dict:
             "dur": max(0.0, t1 - t0), "pid": node, "tid": TID_PHASE,
             "args": {"track": track},
         })
+    counter_pids = set()
+    if obs.metrics is not None:
+        for name, series in sorted(obs.metrics.series.items()):
+            pid = obs.metrics.pid_of.get(name, GLOBAL_PID)
+            counter_pids.add(pid)
+            for t, v in series.samples:
+                events.append({
+                    "name": name, "ph": "C", "ts": t, "pid": pid,
+                    "args": {name.rpartition(".")[2]: v},
+                })
     meta: List[Dict] = []
-    for pid in sorted(pids):
+    if GLOBAL_PID in counter_pids:
+        meta.extend(_meta(GLOBAL_PID, "machine"))
+    for pid in sorted(pids | (counter_pids - {GLOBAL_PID, SWITCH_PID})):
         meta.extend(_meta(pid, f"node {pid}"))
         for tid, tname in _TID_NAMES.items():
             meta.extend(_meta(pid, f"node {pid}", tid, tname)[1:])
-    if switch_rows:
+    if switch_rows or SWITCH_PID in counter_pids:
         meta.extend(_meta(SWITCH_PID, "switch"))
         for dst in sorted(switch_rows):
             meta.extend(_meta(SWITCH_PID, "switch", dst, f"link to n{dst}")[1:])
+    other = {
+        "generator": "repro.obs",
+        "spans": len(obs.spans),
+        "dropped_spans": obs.dropped_spans,
+    }
+    if obs.metrics is not None:
+        other["counter_series"] = len(obs.metrics.series)
+        other["sampler_period_us"] = obs.metrics.period_us
     return {
         "traceEvents": meta + sorted(events, key=lambda e: e["ts"]),
         "displayTimeUnit": "ns",
-        "otherData": {
-            "generator": "repro.obs",
-            "spans": len(obs.spans),
-            "dropped_spans": obs.dropped_spans,
-        },
+        "otherData": other,
     }
 
 

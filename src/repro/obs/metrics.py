@@ -1,0 +1,208 @@
+"""Flight-recorder metrics: periodic gauge sampling over simulated time.
+
+The span layer answers *where did one message's microseconds go*; this
+module answers *which resource was loaded when*.  A
+:class:`MetricsSampler` — planted by
+:meth:`Observatory.start_sampler(machine, period_us)
+<repro.obs.core.Observatory.start_sampler>` — wakes on a recurring
+cancellable timer and snapshots gauges across every layer into bounded
+ring-buffer :class:`~repro.sim.stats.TimeSeries`:
+
+* send/receive FIFO occupancy and host-visible backlog, per node;
+* go-back-N window in-flight (and the tightest remaining credit), per
+  node, summed over peers and channels;
+* ``Switch.in_flight`` and the scheduler's ``live_pending_count()``;
+* per-destination-link utilization and adapter TX utilization, computed
+  as deltas of the busy-time accumulators the hardware maintains under
+  an attached Observatory (``Switch.link_busy_us``,
+  ``TB2Adapter.tx_busy_us``);
+* counter-delta rates (retransmissions/s, packets/s, NACKs/s) from the
+  layers' :class:`~repro.sim.stats.StatRegistry` counters.
+
+Everything is duck-typed attribute access — this module imports nothing
+from ``repro.sim.engine`` or ``repro.hardware``, keeping the obs layer's
+one-way-reference rule.  Sampling is **opt-in**: without
+``start_sampler`` no timer exists, no gauge is read, and the hardware's
+busy-time accumulators are only maintained inside existing
+``obs is not None`` blocks, so an unobserved run pays nothing.
+
+The sampler keeps rescheduling itself until :meth:`MetricsSampler.stop`
+is called (or ``max_samples`` hits), so drive sampled runs with
+``run_until_processes_done`` — a drain-the-queue ``run()`` would never
+terminate while the recurring timer lives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.stats import TimeSeries
+
+#: Chrome-trace "process" rows for counter tracks that belong to no node
+SWITCH_PID = 9999     # must match repro.obs.export.SWITCH_PID
+GLOBAL_PID = 9998     # scheduler + machine-wide rates
+
+#: counter names whose per-period deltas become ``rate.<name>_per_s``
+#: series (summed across every registry that carries the counter)
+RATE_COUNTERS: Tuple[str, ...] = (
+    "retransmissions", "nacks_sent", "packets_routed", "tx_packets",
+)
+
+#: default ring-buffer bound per series (a long soak keeps the newest
+#: ~4k samples per gauge instead of growing without limit)
+DEFAULT_CAPACITY = 4096
+
+
+class MetricsSampler:
+    """Recurring gauge snapshots into bounded time series.
+
+    Created by :meth:`Observatory.start_sampler`; readable as
+    ``obs.metrics``.  ``series`` maps gauge name -> :class:`TimeSeries`
+    and ``pid_of`` maps gauge name -> the Chrome-trace process row its
+    counter track renders under (node id, :data:`SWITCH_PID`, or
+    :data:`GLOBAL_PID`).
+    """
+
+    def __init__(self, obs, machine, period_us: float = 50.0,
+                 capacity: Optional[int] = DEFAULT_CAPACITY,
+                 max_samples: Optional[int] = None):
+        if period_us <= 0.0:
+            raise ValueError(f"period_us must be positive, got {period_us}")
+        self.obs = obs
+        self.machine = machine
+        self.sim = machine.sim
+        self.period_us = period_us
+        self.capacity = capacity
+        #: safety valve: stop sampling after this many ticks (None = run
+        #: until :meth:`stop`)
+        self.max_samples = max_samples
+        self.samples_taken = 0
+        self.series: Dict[str, TimeSeries] = {}
+        self.pid_of: Dict[str, int] = {}
+        self._timer = None
+        # busy-time accumulators at the previous tick, for utilization
+        # deltas: {series name: last cumulative value}
+        self._last_busy: Dict[str, float] = {}
+        # counter totals at the previous tick, for rate deltas
+        self._last_counts: Dict[str, float] = {}
+        # resolved per-node sample targets (adapter, am), fixed at start
+        self._nodes: List[tuple] = [
+            (node.id, getattr(node, "adapter", None), node)
+            for node in machine.nodes
+        ]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "MetricsSampler":
+        """Plant the recurring timer (first tick one period from now)."""
+        if self._timer is None:
+            self._timer = self.sim.call_later(self.period_us, self._tick)
+        return self
+
+    def stop(self) -> None:
+        """Cancel the pending tick; the sampler can be restarted."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    @property
+    def running(self) -> bool:
+        return self._timer is not None
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+
+    def _series(self, name: str, pid: int) -> TimeSeries:
+        s = self.series.get(name)
+        if s is None:
+            s = self.series[name] = TimeSeries(name, capacity=self.capacity)
+            self.pid_of[name] = pid
+        return s
+
+    def _util(self, name: str, pid: int, t: float, busy: float) -> None:
+        """Record the per-period utilization implied by a cumulative
+        busy-time counter (delta busy / period; may exceed 1.0 briefly —
+        wire time is charged at injection, ahead of serialization)."""
+        last = self._last_busy.get(name, 0.0)
+        self._last_busy[name] = busy
+        self._series(name, pid).record(t, (busy - last) / self.period_us)
+
+    def _tick(self) -> None:
+        sim = self.sim
+        t = sim.now
+        self.samples_taken += 1
+        self._series("sched.live_pending", GLOBAL_PID).record(
+            t, sim.live_pending_count())
+        switch = getattr(self.machine, "switch", None)
+        if switch is not None:
+            self._series("switch.in_flight", SWITCH_PID).record(
+                t, switch.in_flight)
+            for dst, busy in switch.link_busy_us.items():
+                self._util(f"link{dst}.util", SWITCH_PID, t, busy)
+        for nid, adapter, node in self._nodes:
+            if adapter is not None:
+                self._series(f"n{nid}.send_fifo", nid).record(
+                    t, adapter.send_fifo.occupied)
+                rf = adapter.recv_fifo
+                self._series(f"n{nid}.recv_fifo", nid).record(t, rf.occupied)
+                self._series(f"n{nid}.recv_visible", nid).record(
+                    t, len(rf.visible))
+                self._util(f"n{nid}.tx_util", nid, t, adapter.tx_busy_us)
+            am = getattr(node, "am", None)
+            if am is not None:
+                in_flight = 0
+                credit = None
+                for peer in am._peers.values():
+                    for win in peer.send:
+                        in_flight += win.in_flight
+                        c = win.window - win.in_flight
+                        if credit is None or c < credit:
+                            credit = c
+                self._series(f"n{nid}.win_inflight", nid).record(t, in_flight)
+                if credit is not None:
+                    self._series(f"n{nid}.win_credit", nid).record(t, credit)
+        self._sample_rates(t)
+        if (self.max_samples is not None
+                and self.samples_taken >= self.max_samples):
+            self._timer = None
+            return
+        self._timer = self.sim.call_later(self.period_us, self._tick)
+
+    def _sample_rates(self, t: float) -> None:
+        """Counter-delta rates, in events per simulated **second**."""
+        regs = self.obs._all_registries()
+        scale = 1e6 / self.period_us  # per-period delta -> per-second
+        for name in RATE_COUNTERS:
+            total = 0
+            for reg in regs:
+                total += reg.get(name)
+            last = self._last_counts.get(name, 0)
+            self._last_counts[name] = total
+            self._series(f"rate.{name}_per_s", GLOBAL_PID).record(
+                t, (total - last) * scale)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Per-series summaries keyed by gauge name (sorted, JSON-safe)."""
+        return {name: s.snapshot()
+                for name, s in sorted(self.series.items())}
+
+    def saturation(self) -> Dict[str, float]:
+        """p95 of every gauge — the "how loaded was it" view the
+        bottleneck verdict reads."""
+        out: Dict[str, float] = {}
+        for name, s in self.series.items():
+            if len(s):
+                out[name] = s.percentile(95)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "running" if self.running else "stopped"
+        return (f"MetricsSampler({len(self.series)} series, "
+                f"{self.samples_taken} ticks, {state})")

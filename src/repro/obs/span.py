@@ -54,13 +54,13 @@ class MessageSpan:
     """
 
     __slots__ = ("trace_id", "src", "dst", "kind", "seq", "wire_bytes",
-                 "marks", "retransmits", "drops", "queued_us")
+                 "marks", "retransmits", "drops", "queued_us", "backoff_us")
 
     def __init__(self, trace_id: int, src: int, dst: int, kind: str,
                  seq: int = 0, wire_bytes: int = 0,
                  marks: Optional[Dict[str, float]] = None,
                  retransmits: int = 0, drops: int = 0,
-                 queued_us: float = 0.0):
+                 queued_us: float = 0.0, backoff_us: float = 0.0):
         self.trace_id = trace_id
         self.src = src
         self.dst = dst
@@ -75,6 +75,12 @@ class MessageSpan:
         self.drops = drops
         #: destination-link serialization wait accumulated in the switch
         self.queued_us = queued_us
+        #: time spent waiting for go-back-N recovery: the gap between a
+        #: lost transmission's wire exit and the retransmission's DMA
+        #: start, summed over every re-entry into the TX path (the
+        #: NACK round trip / keep-alive backoff the critical-path
+        #: profiler reports as ``retransmit_backoff``)
+        self.backoff_us = backoff_us
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"MessageSpan(trace_id={self.trace_id}, "
@@ -129,6 +135,7 @@ class MessageSpan:
             "retransmits": self.retransmits,
             "drops": self.drops,
             "queued_us": self.queued_us,
+            "backoff_us": self.backoff_us,
         }
 
 
@@ -145,4 +152,5 @@ def span_from_dict(d: Dict) -> MessageSpan:
         retransmits=int(d.get("retransmits", 0)),
         drops=int(d.get("drops", 0)),
         queued_us=float(d.get("queued_us", 0.0)),
+        backoff_us=float(d.get("backoff_us", 0.0)),
     )

@@ -13,7 +13,8 @@ observability exporters can embed any registry verbatim.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from collections import deque
+from typing import Dict, List, Optional, Tuple
 
 
 class Counter:
@@ -33,16 +34,34 @@ class Counter:
 
 
 class TimeSeries:
-    """(time, value) samples, e.g. instantaneous window occupancy."""
+    """(time, value) samples, e.g. instantaneous window occupancy.
 
-    __slots__ = ("name", "samples")
+    With ``capacity`` set the series is a ring buffer: once full, each
+    new sample evicts the oldest one and bumps ``dropped_samples``.
+    Long soaks with a periodic gauge sampler need the bound — an
+    unbounded series would grow by one tuple per sample for the entire
+    run — while short benchmark runs keep the default unbounded list.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "samples", "capacity", "dropped_samples")
+
+    def __init__(self, name: str, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.name = name
-        self.samples: List[Tuple[float, float]] = []
+        self.capacity = capacity
+        #: a deque bounds the ring at C speed; the unbounded default stays
+        #: a plain list (append is the hot operation either way)
+        self.samples = (deque(maxlen=capacity) if capacity is not None
+                        else [])
+        #: samples evicted by the ring buffer (0 when unbounded)
+        self.dropped_samples = 0
 
     def record(self, t: float, value: float) -> None:
-        self.samples.append((t, value))
+        s = self.samples
+        if self.capacity is not None and len(s) == self.capacity:
+            self.dropped_samples += 1
+        s.append((t, value))
 
     @property
     def values(self) -> List[float]:
@@ -68,18 +87,29 @@ class TimeSeries:
         return percentile(self._require_data(), p)
 
     def snapshot(self) -> Dict[str, float]:
-        """JSON-serializable summary of the series."""
+        """JSON-serializable summary of the series.
+
+        The values are extracted and sorted **once**; every percentile
+        reads the shared sorted copy (one ``sorted`` per snapshot, not
+        one per quantile).
+        """
+        from repro.obs.hist import percentile_sorted
+
         if not self.samples:
             return {"count": 0}
-        return {
-            "count": len(self.samples),
-            "mean": self.mean(),
-            "max": self.max(),
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+        vs = sorted(v for _, v in self.samples)
+        snap = {
+            "count": len(vs),
+            "mean": sum(vs) / len(vs),
+            "max": vs[-1],
+            "p50": percentile_sorted(vs, 50),
+            "p95": percentile_sorted(vs, 95),
+            "p99": percentile_sorted(vs, 99),
             "last": self.samples[-1][1],
         }
+        if self.dropped_samples:
+            snap["dropped_samples"] = self.dropped_samples
+        return snap
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -99,10 +129,14 @@ class StatRegistry:
             c = self._counters[name] = Counter(self.prefix + name)
         return c
 
-    def series(self, name: str) -> TimeSeries:
+    def series(self, name: str,
+               capacity: Optional[int] = None) -> TimeSeries:
+        """Get-or-create a series.  ``capacity`` bounds a **new** series
+        as a ring buffer; an existing series keeps its original bound."""
         s = self._series.get(name)
         if s is None:
-            s = self._series[name] = TimeSeries(self.prefix + name)
+            s = self._series[name] = TimeSeries(self.prefix + name,
+                                                capacity=capacity)
         return s
 
     def count(self, name: str, n: int = 1) -> None:

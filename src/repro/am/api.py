@@ -30,15 +30,23 @@ ActiveMessages = Union[SPAM, GenericAM]
 
 
 def attach_spam(
-    machine: Machine, costs: Optional[AMCosts] = None
+    machine: Machine, costs: Optional[AMCosts] = None,
+    xfer_mode: str = "eager", rdzv_crossover: Optional[int] = None,
 ) -> List[SPAM]:
-    """Install SP AM on every node of an SP machine."""
+    """Install SP AM on every node of an SP machine.
+
+    ``xfer_mode`` selects the large-message strategy for stores: "eager"
+    (the chunk protocol, default), "rendezvous" (RTS/CTS + simulated
+    RDMA), or "auto" (rendezvous above ``rdzv_crossover`` bytes,
+    defaulting to one chunk = 8064).
+    """
     if not machine.is_sp:
         raise ValueError(
             f"{machine.params.name!r} is not an SP; use attach_generic_am"
         )
     table = HandlerTable()
-    return [SPAM(node, table, costs) for node in machine.nodes]
+    return [SPAM(node, table, costs, xfer_mode=xfer_mode,
+                 rdzv_crossover=rdzv_crossover) for node in machine.nodes]
 
 
 def attach_generic_am(machine: Machine) -> List[GenericAM]:
@@ -51,6 +59,13 @@ def attach_generic_am(machine: Machine) -> List[GenericAM]:
     return [GenericAM(node, table) for node in machine.nodes]
 
 
-def attach_am(machine: Machine) -> List[ActiveMessages]:
-    """Install the right AM implementation for the machine kind."""
-    return attach_spam(machine) if machine.is_sp else attach_generic_am(machine)
+def attach_am(machine: Machine, xfer_mode: str = "eager",
+              rdzv_crossover: Optional[int] = None) -> List[ActiveMessages]:
+    """Install the right AM implementation for the machine kind.
+
+    The rendezvous knobs only apply to the SP implementation; the generic
+    (LogP-cost) AM has no chunk protocol to switch."""
+    if machine.is_sp:
+        return attach_spam(machine, xfer_mode=xfer_mode,
+                           rdzv_crossover=rdzv_crossover)
+    return attach_generic_am(machine)

@@ -52,6 +52,7 @@ class BulkSendOp:
         handler_args: Tuple[int, ...],
         done: Event,
         completion_fn: Optional[Callable[["BulkSendOp"], None]] = None,
+        rdzv: bool = False,
     ):
         self.token = token
         self.dst = dst
@@ -65,6 +66,20 @@ class BulkSendOp:
         self.acked_chunks = 0
         self.done = done
         self.completion_fn = completion_fn
+        #: rendezvous mode: the transfer starts with an RTS/CTS handshake
+        #: and the payload goes out as RDMA_DATA + a trailing RDMA_FIN
+        self.rdzv = rdzv
+        #: sequence number the RTS went out under (-1 = not sent yet);
+        #: the stall watchdog retransmits the saved clone under this key
+        self.rts_seq = -1
+        #: when the RTS (or its last stall retransmission) went out
+        self.rts_sent_t = float("-inf")
+        #: set when the peer's CTS arrives; gates the RDMA pump
+        self.cts_granted = False
+        self.fin_sent = False
+        #: the op completes only once the FIN is acknowledged too — the
+        #: FIN is what fires the remote completion handler exactly once
+        self.fin_acked = False
 
     @property
     def total_chunks(self) -> int:
@@ -73,6 +88,11 @@ class BulkSendOp:
     @property
     def complete(self) -> bool:
         return self.acked_chunks >= self.total_chunks
+
+    @property
+    def fully_acked(self) -> bool:
+        """Every chunk acked, plus the FIN for a rendezvous transfer."""
+        return self.complete and (not self.rdzv or self.fin_acked)
 
     def sendable_now(self) -> bool:
         """Chunk pacing: chunk i may go once chunk i-2 is acknowledged."""

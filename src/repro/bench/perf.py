@@ -107,12 +107,13 @@ ALL_WORKLOADS = ("pingpong", "bulk", "alltoall", "soak")
 # workload builders: populate ``sim`` and return the processes to wait on
 # ---------------------------------------------------------------------------
 
-def _build_pingpong(sim: Simulator, iterations: int) -> list:
+def _build_pingpong(sim: Simulator, iterations: int,
+                    xfer_mode: str = "eager") -> list:
     from repro.am import attach_am
     from repro.hardware.machine import build_machine
 
     machine = build_machine(sim, 2, "sp-thin")
-    attach_am(machine)
+    attach_am(machine, xfer_mode=xfer_mode)
     am0 = machine.node(0).am
     am1 = machine.node(1).am
     got = [0]
@@ -139,12 +140,13 @@ def _build_pingpong(sim: Simulator, iterations: int) -> list:
     return [p]
 
 
-def _build_bulk(sim: Simulator, nbytes: int, rounds: int) -> list:
+def _build_bulk(sim: Simulator, nbytes: int, rounds: int,
+                xfer_mode: str = "eager") -> list:
     from repro.am import attach_am
     from repro.hardware.machine import build_machine
 
     machine = build_machine(sim, 2, "sp-thin")
-    attach_am(machine)
+    attach_am(machine, xfer_mode=xfer_mode)
     am0 = machine.node(0).am
     am1 = machine.node(1).am
     src = machine.node(0).memory.alloc(nbytes)
@@ -169,12 +171,12 @@ def _build_bulk(sim: Simulator, nbytes: int, rounds: int) -> list:
 
 
 def _build_alltoall(sim: Simulator, nodes: int, nbytes: int,
-                    rounds: int) -> list:
+                    rounds: int, xfer_mode: str = "eager") -> list:
     from repro.am import attach_am
     from repro.hardware.machine import build_machine
 
     machine = build_machine(sim, nodes, "sp-thin")
-    attach_am(machine)
+    attach_am(machine, xfer_mode=xfer_mode)
     ams = [machine.node(i).am for i in range(nodes)]
     srcs = [machine.node(i).memory.alloc(nbytes) for i in range(nodes)]
     dsts = [[machine.node(i).memory.alloc(nbytes) for _ in range(nodes)]
@@ -217,14 +219,15 @@ def _adjusted_eps(sim: Simulator, wall: float) -> float:
 
 
 def _timed_run(name: str, scheduler: str, sizes: tuple,
-               repeat: int, idle_fast_forward: bool = True) -> Dict:
+               repeat: int, idle_fast_forward: bool = True,
+               xfer_mode: str = "eager") -> Dict:
     """Best-of-``repeat`` wall time for one workload on one scheduler."""
     build = _BUILDERS[name]
     best: Optional[Dict] = None
     for _ in range(repeat):
         sim = Simulator(scheduler=scheduler,
                         idle_fast_forward=idle_fast_forward)
-        procs = build(sim, *sizes)
+        procs = build(sim, *sizes, xfer_mode=xfer_mode)
         t0 = time.perf_counter()
         sim.run_until_processes_done(procs, limit=1e12)
         wall = time.perf_counter() - t0
@@ -244,7 +247,8 @@ def _timed_run(name: str, scheduler: str, sizes: tuple,
 
 
 def _timed_soak(pingpong: int, repeat: int,
-                idle_fast_forward: bool = True) -> Dict:
+                idle_fast_forward: bool = True,
+                xfer_mode: str = "eager") -> Dict:
     from repro.faults import run_soak
 
     best: Optional[Dict] = None
@@ -252,7 +256,8 @@ def _timed_soak(pingpong: int, repeat: int,
         t0 = time.perf_counter()
         res = run_soak(seed=11, loss=0.01, nodes=3, pingpong=pingpong,
                        compare_clean=False,
-                       idle_fast_forward=idle_fast_forward)
+                       idle_fast_forward=idle_fast_forward,
+                       xfer_mode=xfer_mode)
         wall = time.perf_counter() - t0
         if res.violations:
             raise RuntimeError(
@@ -281,28 +286,34 @@ def _timed_soak(pingpong: int, repeat: int,
 _DIGEST_PACK = struct.Struct("<dq").pack
 
 
-def _digest_run(scheduler: str, name: str, sizes: tuple):
+def _digest_run(scheduler: str, name: str, sizes: tuple,
+                xfer_mode: str = "eager"):
     """Drive a workload one event at a time, hashing the execution order.
 
     Returns ``(final_sim_time, hex_digest)`` where the digest covers every
     executed event's ``(when, seq, callback qualname)``.  Two schedulers
     agree on this digest iff they executed the same callbacks at the same
-    times in the same order.
+    times in the same order.  Entries with negative seqs (the unsequenced
+    observer lane: metrics-sampler ticks) are excluded — they are
+    digest-neutral by contract.
     """
     sim = Simulator(scheduler=scheduler)
-    procs = _BUILDERS[name](sim, *sizes)
+    procs = _BUILDERS[name](sim, *sizes, xfer_mode=xfer_mode)
     h = hashlib.blake2b(digest_size=16)
     pack = _DIGEST_PACK
     while not all(p.finished for p in procs):
         if not sim.step():
             break
         when, seq, fn = sim.last_event
+        if seq < 0:
+            continue
         h.update(pack(when, seq))
         h.update(getattr(fn, "__qualname__", type(fn).__name__).encode())
     return sim.now, h.hexdigest()
 
 
-def run_determinism(sizes: Optional[Dict[str, tuple]] = None) -> Dict:
+def run_determinism(sizes: Optional[Dict[str, tuple]] = None,
+                    xfer_mode: str = "eager") -> Dict:
     """Differential check over every dual-scheduler workload.
 
     Returns ``{workload: {wheel_digest, heap_digest, wheel_sim_us,
@@ -314,8 +325,8 @@ def run_determinism(sizes: Optional[Dict[str, tuple]] = None) -> Dict:
     for name in DUAL_SCHEDULER:
         if name not in sizes:
             continue
-        w_now, w_dig = _digest_run("wheel", name, sizes[name])
-        h_now, h_dig = _digest_run("heap", name, sizes[name])
+        w_now, w_dig = _digest_run("wheel", name, sizes[name], xfer_mode)
+        h_now, h_dig = _digest_run("heap", name, sizes[name], xfer_mode)
         ok = (w_dig == h_dig) and (w_now == h_now)
         all_ok = all_ok and ok
         out[name] = {
@@ -354,6 +365,12 @@ class _FFDigestRecorder:
         self.cancels = 0
 
     def on_execute(self, entry) -> None:
+        if entry[1] < 0:
+            # the unsequenced observer lane (metrics-sampler ticks) is
+            # digest-neutral by contract: its presence must not change
+            # any ordinary event's (when, seq) identity, so it is not
+            # part of the order being proven either
+            return
         fn = entry[2]
         self._update(_DIGEST_PACK(entry[0], entry[1]))
         self._update(getattr(fn, "__qualname__", type(fn).__name__).encode())
@@ -368,7 +385,8 @@ class _FFDigestRecorder:
         return self._hexdigest()
 
 
-def _ff_recorded_run(name: str, sizes: tuple, idle_fast_forward: bool):
+def _ff_recorded_run(name: str, sizes: tuple, idle_fast_forward: bool,
+                     xfer_mode: str = "eager"):
     """One wheel run with a digest recorder attached; returns the record."""
     rec = _FFDigestRecorder()
     if name == "soak":
@@ -376,7 +394,8 @@ def _ff_recorded_run(name: str, sizes: tuple, idle_fast_forward: bool):
 
         res = run_soak(seed=11, loss=0.01, nodes=3, pingpong=sizes[0],
                        compare_clean=False, sim_check=rec,
-                       idle_fast_forward=idle_fast_forward)
+                       idle_fast_forward=idle_fast_forward,
+                       xfer_mode=xfer_mode)
         if res.violations:
             raise RuntimeError(
                 f"soak digest run violated reliability invariants: "
@@ -385,7 +404,7 @@ def _ff_recorded_run(name: str, sizes: tuple, idle_fast_forward: bool):
     else:
         sim = Simulator(scheduler="wheel",
                         idle_fast_forward=idle_fast_forward)
-        procs = _BUILDERS[name](sim, *sizes)
+        procs = _BUILDERS[name](sim, *sizes, xfer_mode=xfer_mode)
         sim.check = rec
         sim.run_until_processes_done(procs, limit=1e12)
     return {
@@ -396,7 +415,8 @@ def _ff_recorded_run(name: str, sizes: tuple, idle_fast_forward: bool):
     }
 
 
-def run_ff_determinism(sizes: Optional[Dict[str, tuple]] = None) -> Dict:
+def run_ff_determinism(sizes: Optional[Dict[str, tuple]] = None,
+                       xfer_mode: str = "eager") -> Dict:
     """Fast-forward on vs off over all four workloads.
 
     ``identical`` per workload requires byte-identical digests,
@@ -410,8 +430,8 @@ def run_ff_determinism(sizes: Optional[Dict[str, tuple]] = None) -> Dict:
     for name in ALL_WORKLOADS:
         if name not in sizes:
             continue
-        on = _ff_recorded_run(name, sizes[name], True)
-        off = _ff_recorded_run(name, sizes[name], False)
+        on = _ff_recorded_run(name, sizes[name], True, xfer_mode)
+        off = _ff_recorded_run(name, sizes[name], False, xfer_mode)
         ok = (on["digest"] == off["digest"]
               and on["sim_us"] == off["sim_us"]
               and on["events"] == off["events"]
@@ -467,6 +487,7 @@ def run_perf(
     sizes: Optional[Dict[str, tuple]] = None,
     digest_sizes: Optional[Dict[str, tuple]] = None,
     ff_digest_sizes: Optional[Dict[str, tuple]] = None,
+    xfer_mode: str = "eager",
 ) -> Dict:
     """Run the whole suite; returns the report ``extra`` payload.
 
@@ -476,7 +497,9 @@ def run_perf(
     and 1 on the full sizes, where runs are long enough to be stable.
     The soak workload always gets at least best-of-5: its full-size wall
     is ~45 ms, short enough that single draws scatter by double-digit
-    percentages on a noisy box.
+    percentages on a noisy box.  ``xfer_mode`` selects the AM
+    large-message strategy throughout (the determinism digests must be
+    byte-identical under both ``eager`` and ``rendezvous``).
     """
     sizes = sizes or (QUICK_SIZES if quick else FULL_SIZES)
     if repeat is None:
@@ -488,9 +511,11 @@ def run_perf(
     # have drifted away from whatever the caller probed
     soak_repeat = max(repeat, 5)
     soak: Dict = {
-        "wheel": _timed_soak(sizes["soak"][0], soak_repeat),
+        "wheel": _timed_soak(sizes["soak"][0], soak_repeat,
+                             xfer_mode=xfer_mode),
         "wheel_noff": _timed_soak(sizes["soak"][0], soak_repeat,
-                                  idle_fast_forward=False),
+                                  idle_fast_forward=False,
+                                  xfer_mode=xfer_mode),
     }
     soak["ratio_ff_on_over_off"] = round(
         soak["wheel"]["adj_eps"] / soak["wheel_noff"]["adj_eps"], 4)
@@ -498,9 +523,11 @@ def run_perf(
     for name in DUAL_SCHEDULER:
         per: Dict = {}
         for scheduler in ("wheel", "heap"):
-            per[scheduler] = _timed_run(name, scheduler, sizes[name], repeat)
+            per[scheduler] = _timed_run(name, scheduler, sizes[name], repeat,
+                                        xfer_mode=xfer_mode)
         per["wheel_noff"] = _timed_run(name, "wheel", sizes[name], repeat,
-                                       idle_fast_forward=False)
+                                       idle_fast_forward=False,
+                                       xfer_mode=xfer_mode)
         per["ratio_wheel_over_heap"] = round(
             per["wheel"]["adj_eps"] / per["heap"]["adj_eps"], 4)
         per["ratio_ff_on_over_off"] = round(
@@ -509,9 +536,10 @@ def run_perf(
     return {
         "quick": quick,
         "repeat": repeat,
+        "xfer_mode": xfer_mode,
         "workloads": workloads,
-        "determinism": run_determinism(digest_sizes),
-        "determinism_ff": run_ff_determinism(ff_digest_sizes),
+        "determinism": run_determinism(digest_sizes, xfer_mode),
+        "determinism_ff": run_ff_determinism(ff_digest_sizes, xfer_mode),
         "attribution": _attribution_section(50 if quick else 200),
         "baseline_pre_pr": dict(PRE_PR_BASELINE),
     }

@@ -142,6 +142,8 @@ class CampaignResult:
     nodes: int
     loss: float
     nops: int
+    #: large-message strategy the campaign's AM layer ran with
+    xfer_mode: str
     #: sanitizer violations + workload mismatches + aborting exceptions
     violations: List[str]
     #: check counts per checker kind (all must be > 0 on a real run)
@@ -167,7 +169,8 @@ class CampaignResult:
         state = ("FAIL" if self.violations else "ok")
         counts = " ".join(f"{k}={v}" for k, v in sorted(self.checks.items()))
         return (f"check seed={self.seed} nodes={self.nodes} "
-                f"loss={self.loss} ops={self.nops}: {state} "
+                f"loss={self.loss} mode={self.xfer_mode} "
+                f"ops={self.nops}: {state} "
                 f"[{counts}] units={self.delivered_units} "
                 f"t={self.elapsed_us:.0f}us")
 
@@ -196,7 +199,8 @@ class ShrinkResult:
 class _CheckCampaign:
     def __init__(self, seed: int, nodes: int, ops: List[dict], loss: float,
                  collect: bool, limit: float,
-                 only: Optional[List[str]] = None):
+                 only: Optional[List[str]] = None,
+                 xfer_mode: str = "eager"):
         self.seed = seed
         self.nodes = nodes
         self.ops = ops
@@ -206,7 +210,7 @@ class _CheckCampaign:
         self.sim = Simulator()
         self.machine = build_sp_machine(self.sim, nodes)
         self.obs = Observatory().attach(self.machine)
-        self.ams = attach_spam(self.machine)
+        self.ams = attach_spam(self.machine, xfer_mode=xfer_mode)
         self.mpis = attach_mpi(self.machine)
         if loss > 0.0:
             install_faults(self.machine, FaultPlan.loss(seed, loss))
@@ -394,6 +398,8 @@ class _CheckCampaign:
         for am in self.ams:
             if am._active_sends or am._deferred_replies:
                 return False
+            if am._rdma_grants or am._deferred_cts or am._rdma_ack_due:
+                return False
             adapter = am.adapter
             if adapter.send_fifo.occupied > 0:
                 return False
@@ -460,14 +466,18 @@ def run_campaign(
     collect: bool = True,
     limit: float = 5e7,
     only: Optional[List[str]] = None,
+    xfer_mode: str = "eager",
 ) -> CampaignResult:
     """One seeded campaign under the sanitizer; returns its verdict.
 
     ``op_list`` overrides generation (shrinking and tests); otherwise
-    the ops are :func:`generate_ops(seed, nodes, nops)`.
+    the ops are :func:`generate_ops(seed, nodes, nops)`.  ``xfer_mode``
+    selects the AM large-message strategy, so the same op mix can
+    cross-check the eager chunk protocol against rendezvous.
     """
     ops = op_list if op_list is not None else generate_ops(seed, nodes, nops)
-    camp = _CheckCampaign(seed, nodes, ops, loss, collect, limit, only)
+    camp = _CheckCampaign(seed, nodes, ops, loss, collect, limit, only,
+                          xfer_mode=xfer_mode)
     elapsed = camp.run()
     from repro.check.core import RecvWindowCheck
     from repro.obs.critpath import critpath_rollup
@@ -480,6 +490,7 @@ def run_campaign(
             digest ^= c.digest
     return CampaignResult(
         seed=seed, nodes=nodes, loss=loss, nops=len(ops),
+        xfer_mode=xfer_mode,
         violations=camp.violations, checks=camp.san.snapshot(),
         delivered_units=units, digest=digest, elapsed_us=elapsed,
         aborted=camp.aborted, ops=ops,
@@ -501,6 +512,7 @@ def shrink_failure(
     loss: float = 0.0,
     op_list: Optional[List[dict]] = None,
     limit: float = 5e7,
+    xfer_mode: str = "eager",
 ) -> ShrinkResult:
     """Minimize a failing campaign to its smallest failing op list.
 
@@ -516,7 +528,8 @@ def shrink_failure(
         nonlocal runs
         runs += 1
         res = run_campaign(seed, nodes=nodes, loss=loss,
-                           op_list=candidate, collect=True, limit=limit)
+                           op_list=candidate, collect=True, limit=limit,
+                           xfer_mode=xfer_mode)
         return res.violations if not res.ok else None
 
     first = fails(ops)

@@ -15,14 +15,16 @@ Usage::
     spam-bench profile [--quick] [--period-us 50] [--topk 5]
                                         # metrics sampler + critical-path
                                         # attribution over three workloads
-    spam-bench soak --seed 7 --loss 0.05 [--chaos]
+    spam-bench soak --seed 7 --loss 0.05 [--chaos] [--xfer-mode rendezvous]
                                         # chaos campaign vs the reliability layer
     spam-bench perf [--quick] [--check BENCH_simperf.json]
                                         # simulator events/sec + wheel-vs-heap
                                         # determinism/regression gate
-    spam-bench check --seeds 20 [--loss 0.01] [--shrink]
+    spam-bench check --seeds 20 [--loss 0.01] [--shrink] [--xfer-mode auto]
                                         # randomized conformance campaigns
                                         # under the invariant sanitizer
+    spam-bench protocols [--quick]      # eager vs rendezvous vs MPL vs MPI-F
+                                        # bandwidth curves + crossover gate
 
 Table-style experiments also leave a machine-readable
 ``BENCH_<experiment>.json`` report next to the ASCII table (suppress with
@@ -278,7 +280,9 @@ def cmd_soak(args) -> int:
         seed=args.seed, loss=args.loss, nodes=args.nodes,
         pingpong=args.pingpong, chaos=args.chaos,
         compare_clean=not args.no_clean,
-        sample_period_us=args.sample_period_us,
+        sample_period_us=(args.sample_period_us
+                          if args.sample_period_us > 0 else None),
+        xfer_mode=args.xfer_mode,
     )
     print("\n".join(result.summary_lines()))
     critpath = critpath_rollup(result.obs)
@@ -312,7 +316,7 @@ def cmd_soak(args) -> int:
         entries.append(("clean elapsed (us)", None, result.clean_elapsed_us))
     _write_report(args, "soak", entries, obs=result.obs, extra={
         "seed": result.seed, "loss": result.loss, "nodes": result.nodes,
-        "chaos": result.chaos,
+        "chaos": result.chaos, "xfer_mode": result.xfer_mode,
         "injected_counts": result.injected_counts,
         "violations": result.violations,
         "critpath": critpath, "bottleneck": verdict,
@@ -330,7 +334,8 @@ def cmd_check(args) -> int:
         # every third campaign runs under packet loss so the sanitizer
         # also sees the retransmission/go-back-N paths
         loss = args.loss if k % 3 == 2 else 0.0
-        r = run_campaign(seed, nodes=args.nodes, nops=args.ops, loss=loss)
+        r = run_campaign(seed, nodes=args.nodes, nops=args.ops, loss=loss,
+                         xfer_mode=args.xfer_mode)
         results.append(r)
         print(r.summary())
         for v in r.violations:
@@ -339,7 +344,7 @@ def cmd_check(args) -> int:
             failures.append(r)
             if args.shrink:
                 s = shrink_failure(seed, nodes=args.nodes, nops=args.ops,
-                                   loss=loss)
+                                   loss=loss, xfer_mode=args.xfer_mode)
                 if s.reproduced:
                     print(f"  shrunk to {len(s.minimal)}/{s.original_nops} "
                           f"ops in {s.runs} runs:")
@@ -360,6 +365,7 @@ def cmd_check(args) -> int:
     _write_report(args, "check", entries, extra={
         "seed_base": args.seed_base, "seeds": args.seeds,
         "nodes": args.nodes, "ops": args.ops, "loss": args.loss,
+        "xfer_mode": args.xfer_mode,
         "campaigns": [{
             "seed": r.seed, "loss": r.loss, "ok": r.ok,
             "checks": r.checks, "delivered_units": r.delivered_units,
@@ -373,7 +379,8 @@ def cmd_check(args) -> int:
 def cmd_perf(args) -> int:
     from repro.bench.perf import check_regression, report_entries, run_perf
 
-    data = run_perf(quick=args.quick, repeat=args.repeat)
+    data = run_perf(quick=args.quick, repeat=args.repeat,
+                    xfer_mode=args.xfer_mode)
     rows = []
     for name, per in data["workloads"].items():
         w = per["wheel"]
@@ -409,6 +416,27 @@ def cmd_perf(args) -> int:
         else:
             print(f"regression check vs {args.check}: OK")
     return rc
+
+
+def cmd_protocols(args) -> int:
+    from repro.bench.protocols import report_entries, run_protocols
+
+    data = run_protocols(quick=args.quick)
+    print(fmt_series("protocol bandwidth (eager vs rendezvous vs MPL "
+                     "vs MPI-F)", data["curves"]))
+    eager = dict(data["latency_us"]["eager"])
+    rows = [(n, eager[n], us, round(us / eager[n], 2))
+            for n, us in data["latency_us"]["rendezvous"]]
+    print(fmt_table("single-transfer latency (us)",
+                    ["bytes", "eager", "rendezvous", "ratio"], rows))
+    for p in data["crossover_problems"]:
+        print(f"crossover: {p}")
+    verdict = "OK" if data["crossover_ok"] else "FAIL"
+    print(f"crossover gate (rendezvous >= eager from "
+          f"{data['crossover_factor']}x {data['crossover_bytes']} B): "
+          f"{verdict}")
+    _write_report(args, "protocols", report_entries(data), extra=data)
+    return 0 if data["crossover_ok"] else 1
 
 
 def _inspect_chrome(path: str) -> None:
@@ -500,6 +528,15 @@ def _positive_int(s: str) -> int:
     return v
 
 
+def _add_xfer_mode(p) -> None:
+    from repro.am.constants import XFER_MODES
+
+    p.add_argument("--xfer-mode", choices=XFER_MODES, default="eager",
+                   help="AM large-message strategy: eager chunks, "
+                        "RTS/CTS rendezvous, or auto crossover "
+                        "(default eager)")
+
+
 def _add_report_opts(p) -> None:
     p.add_argument("--report-dir", default=".", metavar="DIR",
                    help="where to write BENCH_<experiment>.json")
@@ -563,6 +600,7 @@ def main(argv=None) -> int:
                          "this committed BENCH_simperf.json")
     pp.add_argument("--tolerance", type=float, default=0.2,
                     help="allowed ratio drop for --check (default 0.2)")
+    _add_xfer_mode(pp)
     _add_report_opts(pp)
     ps = sub.add_parser(
         "soak", help="chaos soak: full AM workload under injected faults")
@@ -580,10 +618,12 @@ def main(argv=None) -> int:
                          "(disables the recovery-time bound)")
     ps.add_argument("--trace-out", metavar="FILE", default=None,
                     help="dump the message-span trace (JSONL)")
-    ps.add_argument("--sample-period-us", type=float, default=None,
+    ps.add_argument("--sample-period-us", type=float, default=50.0,
                     metavar="US",
-                    help="attach the periodic gauge sampler to the lossy "
-                         "run (default: off)")
+                    help="periodic gauge sampler on the lossy run; the "
+                         "unsequenced lane keeps it digest-neutral "
+                         "(default 50, 0 disables)")
+    _add_xfer_mode(ps)
     _add_report_opts(ps)
     pc = sub.add_parser(
         "check", help="seeded randomized MPI/AM campaigns under the "
@@ -601,7 +641,14 @@ def main(argv=None) -> int:
     pc.add_argument("--shrink", action="store_true",
                     help="minimize any failing campaign to its smallest "
                          "failing op list")
+    _add_xfer_mode(pc)
     _add_report_opts(pc)
+    pb = sub.add_parser(
+        "protocols", help="eager vs rendezvous vs MPL vs MPI-F bandwidth "
+                          "curves + the rendezvous crossover gate")
+    pb.add_argument("--quick", action="store_true",
+                    help="reduced size sweep (CI smoke)")
+    _add_report_opts(pb)
     args = parser.parse_args(argv)
 
     if args.cmd in (None, "list"):
@@ -619,6 +666,8 @@ def main(argv=None) -> int:
         return cmd_perf(args)
     if args.cmd == "check":
         return cmd_check(args)
+    if args.cmd == "protocols":
+        return cmd_protocols(args)
     dispatch = {
         "roundtrip": cmd_roundtrip,
         "table2": cmd_table2,

@@ -99,6 +99,8 @@ class SoakResult:
     loss: float
     nodes: int
     chaos: bool
+    #: AM large-message strategy the workload's bulk phase used
+    xfer_mode: str
     pingpong: int
     bulk_bytes: int
     #: simulated microseconds the lossy run took
@@ -131,7 +133,7 @@ class SoakResult:
         c = self.counters
         lines = [
             f"soak seed={self.seed} loss={self.loss} nodes={self.nodes}"
-            f" chaos={self.chaos}",
+            f" chaos={self.chaos} mode={self.xfer_mode}",
             f"  workload: {self.pingpong} ping-pongs/rank,"
             f" {self.bulk_bytes}B bulk/rank, Split-C phase",
             f"  injected: {self.total_injected} faults "
@@ -171,7 +173,8 @@ class _Campaign:
     def __init__(self, nodes: int, pingpong: int, bulk_bytes: int,
                  plan: Optional[FaultPlan], limit: float,
                  idle_fast_forward: bool = True,
-                 sample_period_us: Optional[float] = None):
+                 sample_period_us: Optional[float] = None,
+                 xfer_mode: str = "eager"):
         self.nodes = nodes
         self.pingpong = pingpong
         self.bulk_bytes = bulk_bytes
@@ -181,12 +184,13 @@ class _Campaign:
         self.machine = build_sp_machine(self.sim, nodes)
         self.obs = Observatory().attach(self.machine)
         if sample_period_us is not None:
-            # gauge sampler for critical-path reports; a live recurring
-            # timer defeats _quiesced's live_pending_count()==0 shortcut,
-            # but the explicit per-layer drain checks below still decide
-            # quiescence correctly
+            # gauge sampler for critical-path reports; its timers run on
+            # the unsequenced lane so the event-order digests don't see
+            # them, but as live entries they still defeat _quiesced's
+            # live_pending_count()==0 shortcut — the explicit per-layer
+            # drain checks below still decide quiescence correctly
             self.obs.start_sampler(period_us=sample_period_us)
-        self.ams = attach_spam(self.machine)
+        self.ams = attach_spam(self.machine, xfer_mode=xfer_mode)
         self.rts = attach_splitc(self.machine)
         self.injector = (install_faults(self.machine, plan)
                          if plan is not None else None)
@@ -221,6 +225,8 @@ class _Campaign:
             return False
         for am in self.ams:
             if am._active_sends or am._deferred_replies:
+                return False
+            if am._rdma_grants or am._deferred_cts or am._rdma_ack_due:
                 return False
             adapter = am.adapter
             if adapter.send_fifo.occupied > 0:
@@ -411,7 +417,8 @@ def run_soak(
     limit: float = 5e7,
     idle_fast_forward: bool = True,
     sim_check: Optional[object] = None,
-    sample_period_us: Optional[float] = None,
+    sample_period_us: Optional[float] = 50.0,
+    xfer_mode: str = "eager",
 ) -> SoakResult:
     """Run the soak workload under a fault plan; return the evidence.
 
@@ -423,8 +430,10 @@ def run_soak(
     the lossy campaign's engine — the perf suite uses them to compare
     fast-forward on/off walls and event-order digests on this workload.
     ``sample_period_us`` starts the periodic gauge sampler on the lossy
-    campaign (default off: the extra timer events would perturb the perf
-    suite's event-order digests).
+    campaign (default on at 50 us: the sampler's timers run on the
+    unsequenced lane, so they no longer perturb the perf suite's
+    event-order digests; pass ``None`` to disable).  ``xfer_mode``
+    selects the AM large-message strategy for the bulk phase.
     """
     if plan is None:
         plan = (FaultPlan.chaos(seed, loss) if chaos
@@ -433,7 +442,8 @@ def run_soak(
     clean_elapsed = None
     recovery_bound = None
     if compare_clean:
-        clean = _Campaign(nodes, pingpong, bulk_bytes, plan=None, limit=limit)
+        clean = _Campaign(nodes, pingpong, bulk_bytes, plan=None, limit=limit,
+                          xfer_mode=xfer_mode)
         clean_elapsed = clean.run()
         if clean.violations:
             # the workload must be sound before faults mean anything
@@ -442,7 +452,8 @@ def run_soak(
 
     lossy = _Campaign(nodes, pingpong, bulk_bytes, plan=plan, limit=limit,
                       idle_fast_forward=idle_fast_forward,
-                      sample_period_us=sample_period_us)
+                      sample_period_us=sample_period_us,
+                      xfer_mode=xfer_mode)
     if sim_check is not None:
         lossy.sim.check = sim_check
     elapsed = lossy.run()
@@ -463,6 +474,7 @@ def run_soak(
 
     return SoakResult(
         seed=seed, loss=loss, nodes=nodes, chaos=chaos,
+        xfer_mode=xfer_mode,
         pingpong=pingpong, bulk_bytes=bulk_bytes,
         elapsed_us=elapsed, clean_elapsed_us=clean_elapsed,
         recovery_bound_us=recovery_bound,

@@ -24,11 +24,14 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.hardware.fifo import RecvFIFO, SendFIFO
-from repro.hardware.packet import Packet
+from repro.hardware.packet import Packet, PacketKind
 from repro.hardware.params import AdapterParams, SwitchParams
 from repro.sim import Simulator
 from repro.sim.primitives import Event
 from repro.sim.stats import StatRegistry
+
+#: module constant: the RX path identity-compares every arrival's kind
+_RDMA_DATA = PacketKind.RDMA_DATA
 
 
 class TB2Adapter:
@@ -92,9 +95,15 @@ class TB2Adapter:
         self._arrival_event: Optional[Event] = None
         # precomputed once: arrival_event() runs per blocked-wait cycle
         self._arrival_event_name = f"tb2[{node_id}].arrival"
+        #: rendezvous landing callback (set by the AM layer): RDMA_DATA
+        #: packets bypass the receive FIFO / host poll path and are handed
+        #: straight to this sink at visible time, modelling the DMA engine
+        #: writing the granted region without host involvement
+        self.rdma_sink: Optional[Callable[[Packet], None]] = None
         # bound once: these are scheduled per packet
         self._tx_service_cb = self._tx_service
         self._deliver_cb = self._deliver
+        self._rdma_deliver_cb = self._rdma_deliver
 
     # ------------------------------------------------------------------
     # Host-facing API (costs are charged by the calling software layer)
@@ -251,6 +260,30 @@ class TB2Adapter:
                 self.obs.packet_dropped(packet, "crc")
             return
         sim = self.sim
+        if packet.kind is _RDMA_DATA and self.rdma_sink is not None:
+            # simulated RDMA write: no receive-FIFO entry is consumed (the
+            # DMA engine targets the granted region directly), so overflow
+            # cannot drop it — only injected faults and CRC rejects can
+            if self.faults is not None and self.faults.at_rx(packet, sim.now):
+                self.stats.count("rx_dropped_overflow")
+                if self.obs is not None:
+                    self.obs.packet_dropped(packet, "overflow")
+                return
+            dma = packet.wire_bytes / self._mc_dma_rate
+            now = sim.now
+            rx_free = self._rx_free
+            start = now if now > rx_free else rx_free
+            occ = self._i860_rx_occupancy
+            self._rx_free = start + (dma if dma > occ else occ)
+            visible_at = start + dma + self._i860_rx_latency
+            self._c_rx_packets.value += 1
+            self.stats.count("rx_rdma_packets")
+            if self.obs is not None:
+                span = self.obs.spans.get(packet.trace_id)
+                if span is not None:
+                    span.marks["visible"] = visible_at
+            sim.at(visible_at, self._rdma_deliver_cb, packet)
+            return
         forced = (self.faults is not None
                   and self.faults.at_rx(packet, sim.now))
         if forced or not self.recv_fifo.reserve():
@@ -277,6 +310,16 @@ class TB2Adapter:
 
     def _deliver(self, packet: Packet) -> None:
         self.recv_fifo.deliver(packet)
+        for fn in self._arrival_listeners:
+            fn(packet)
+        if self._arrival_event is not None and not self._arrival_event.triggered:
+            self._arrival_event.succeed(packet)
+
+    def _rdma_deliver(self, packet: Packet) -> None:
+        """RDMA landing: hand the packet to the AM sink (which writes the
+        granted region with zero host CPU) and wake any blocked waiter —
+        the completion/ack duties still run from the host's poll loop."""
+        self.rdma_sink(packet)
         for fn in self._arrival_listeners:
             fn(packet)
         if self._arrival_event is not None and not self._arrival_event.triggered:

@@ -96,9 +96,16 @@ class MetricsSampler:
     # ------------------------------------------------------------------
 
     def start(self) -> "MetricsSampler":
-        """Plant the recurring timer (first tick one period from now)."""
+        """Plant the recurring timer (first tick one period from now).
+
+        The timer is *unsequenced* (negative engine seq): it reads gauges
+        but schedules nothing sequenced, so planting it must not shift
+        the (when, seq) identity of any protocol event — sampling on/off
+        yields byte-identical event-order digests.
+        """
         if self._timer is None:
-            self._timer = self.sim.call_later(self.period_us, self._tick)
+            self._timer = self.sim.call_later_unsequenced(
+                self.period_us, self._tick)
         return self
 
     def stop(self) -> None:
@@ -169,7 +176,8 @@ class MetricsSampler:
                 and self.samples_taken >= self.max_samples):
             self._timer = None
             return
-        self._timer = self.sim.call_later(self.period_us, self._tick)
+        self._timer = self.sim.call_later_unsequenced(
+            self.period_us, self._tick)
 
     def _sample_rates(self, t: float) -> None:
         """Counter-delta rates, in events per simulated **second**."""

@@ -168,7 +168,7 @@ class Simulator:
     """
 
     __slots__ = (
-        "scheduler", "_wheel", "idle_fast_forward", "now", "_seq",
+        "scheduler", "_wheel", "idle_fast_forward", "now", "_seq", "_useq",
         "_live_processes", "_blocked_processes", "_finish_stamp",
         "events_executed", "stale_events_skipped", "_stale_pending",
         "_queue", "_window_us", "_window_end", "_cur_list", "_cur_idx",
@@ -190,6 +190,14 @@ class Simulator:
         self.idle_fast_forward = bool(idle_fast_forward)
         self.now: float = 0.0
         self._seq = 0
+        #: separate (decrementing) sequence counter for *unsequenced*
+        #: entries — observers like the metrics sampler whose timers must
+        #: not perturb the (when, seq) identity of ordinary events.  The
+        #: negative seqs never collide with the positive ``_seq`` stream,
+        #: sort deterministically (before ordinary events at an equal
+        #: timestamp), and let digest recorders recognise observer events
+        #: by ``entry[1] < 0``.
+        self._useq = 0
         self._live_processes = 0
         self._blocked_processes = 0
         #: monotonically bumped every time a process finishes; lets run
@@ -277,6 +285,44 @@ class Simulator:
         handle = TimerHandle(self)
         handle._entry = self.schedule(delay, handle._fire, handle.gen,
                                       fn, args)
+        return handle
+
+    def schedule_unsequenced(self, delay: float, fn: Callable[..., None],
+                             *args: Any) -> list:
+        """Like :meth:`schedule`, but the entry draws from the separate
+        negative sequence stream: it does not advance ``_seq``, so its
+        presence or absence leaves every ordinary event's ``(when, seq)``
+        identity — and therefore the event-order digests — untouched.
+        Digest recorders skip entries with ``entry[1] < 0``.
+
+        ``delay`` must be strictly positive: an unsequenced entry landing
+        at the *current* timestamp could execute after same-instant
+        ordinary events with larger (positive) seqs, breaking the
+        scheduler's strict (time, seq) execution-order invariant.
+        """
+        if delay <= 0.0:
+            raise ValueError(
+                f"unsequenced delay must be positive, got {delay}")
+        self._useq -= 1
+        when = self.now + delay
+        entry = [when, self._useq, fn, args]
+        if self._wheel:
+            if when < self._window_end:
+                insort(self._cur_list, entry, self._cur_idx)
+            else:
+                heappush(self._far, entry)
+        else:
+            heappush(self._queue, entry)
+        return entry
+
+    def call_later_unsequenced(self, delay: float, fn: Callable[..., None],
+                               *args: Any) -> TimerHandle:
+        """Cancellable variant of :meth:`schedule_unsequenced` — the timer
+        lane for observers (the metrics sampler) that must stay
+        digest-neutral."""
+        handle = TimerHandle(self)
+        handle._entry = self.schedule_unsequenced(
+            delay, handle._fire, handle.gen, fn, args)
         return handle
 
     def event(self, name: str = "") -> Event:

@@ -1,0 +1,105 @@
+"""Mid-handshake loss must be recovered, never deadlock.
+
+Each rendezvous control packet (RTS, CTS, RDMA_DATA tail, FIN) is
+dropped deterministically with a targeted :class:`FaultRule`; the
+transfer must still complete — recovered by the 150 us stall watchdog
+(RTS/CTS retransmit, per-source stream NACK) rather than hanging — and
+the landed bytes must be exact.
+"""
+
+import pytest
+
+from repro.am import attach_spam
+from repro.am.constants import CHUNK_BYTES
+from repro.faults import FaultPlan, FaultRule, install_faults
+from repro.hardware import build_sp_machine
+from repro.hardware.packet import PacketKind
+from repro.sim import Simulator
+
+
+def _drop(kind, budget=1, after=0):
+    """Plan that deterministically drops ``budget`` packets of ``kind``."""
+    return FaultPlan(seed=1, rules=(
+        FaultRule(kind="drop", rate=1.0, budget=budget, after=after,
+                  packet_kinds=frozenset({kind})),))
+
+
+def _run_store(plan, nbytes=3 * CHUNK_BYTES + 100):
+    sim = Simulator()
+    m = build_sp_machine(sim, 2)
+    am0, am1 = attach_spam(m, xfer_mode="rendezvous")
+    inj = install_faults(m, plan)
+    data = bytes((i * 41 + 5) % 256 for i in range(nbytes))
+    src = m.node(0).memory.alloc(nbytes)
+    dst = m.node(1).memory.alloc(nbytes)
+    m.node(0).memory.write(src, data)
+    flag = [0]
+
+    def sender():
+        yield from am0.store(1, src, dst, nbytes)
+        flag[0] = 1
+
+    def receiver():
+        while not flag[0]:
+            yield from am1._wait_progress()
+
+    p = sim.spawn(sender(), name="send")
+    sim.spawn(receiver(), name="recv")
+    sim.run_until_processes_done([p], limit=5e6)
+    assert flag[0] == 1, "transfer deadlocked instead of recovering"
+    assert m.node(1).memory.read(dst, nbytes) == data
+    assert am1._rdma_grants == {}
+    return am0, am1, inj
+
+
+class TestHandshakeLoss:
+    def test_dropped_rts_is_retransmitted(self):
+        am0, am1, inj = _run_store(_drop(PacketKind.RTS))
+        assert len(inj.injected) == 1
+        # the sender's stall watchdog resent the saved RTS
+        assert am0.stats.get("rts_retransmits") >= 1
+        assert am1.stats.get("rts_received") >= 1
+
+    def test_dropped_cts_is_retransmitted(self):
+        am0, am1, inj = _run_store(_drop(PacketKind.CTS))
+        assert len(inj.injected) == 1
+        # the receiver saw no landings on the grant and resent its CTS
+        assert am1.stats.get("cts_retransmits") >= 1
+        assert am0.stats.get("cts_received") >= 1
+
+    def test_dropped_fin_recovers_via_stall_nack(self):
+        am0, am1, inj = _run_store(_drop(PacketKind.RDMA_FIN))
+        assert len(inj.injected) == 1
+        # tail loss leaves no sequence gap; only the per-source stream
+        # watchdog can notice the silence and NACK the sender
+        assert am1.stats.get("rdzv_stall_nacks_sent") >= 1
+        assert am0.stats.get("retransmissions") >= 1
+
+    def test_dropped_tail_data_recovers_via_stall_nack(self):
+        # drop the last RDMA_DATA packet of the stream: like FIN loss,
+        # nothing later arrives out of order, so only the watchdog helps
+        nbytes = 3 * CHUNK_BYTES
+        per_chunk = (CHUNK_BYTES + 223) // 224
+        am0, am1, _inj = _run_store(
+            _drop(PacketKind.RDMA_DATA, after=3 * per_chunk - 1),
+            nbytes=nbytes)
+        assert (am1.stats.get("rdzv_stall_nacks_sent")
+                + am1.stats.get("rdma_out_of_order_dropped")) >= 1
+
+    def test_dropped_mid_stream_data_recovers(self):
+        am0, am1, _inj = _run_store(_drop(PacketKind.RDMA_DATA, after=2))
+        # everything after the gap lands out of order and is discarded;
+        # recovery is a go-back-N retransmission round
+        assert am1.stats.get("rdma_out_of_order_dropped") >= 1
+        assert am0.stats.get("retransmissions") >= 1
+
+    def test_repeated_handshake_loss_still_converges(self):
+        # drop the first three RTS *and* the first three CTS
+        plan = FaultPlan(seed=2, rules=(
+            FaultRule(kind="drop", rate=1.0, budget=3,
+                      packet_kinds=frozenset({PacketKind.RTS})),
+            FaultRule(kind="drop", rate=1.0, budget=3,
+                      packet_kinds=frozenset({PacketKind.CTS})),))
+        am0, am1, inj = _run_store(plan)
+        assert len(inj.injected) == 6
+        assert am0.stats.get("rts_retransmits") >= 3

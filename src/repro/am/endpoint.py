@@ -338,7 +338,7 @@ class SPAM:
             if h is None:
                 h = self._occ_hist = obs.hist("am.window_occupancy")
             h.observe(win.in_flight)
-            self._occ_series.samples.append((self.sim.now, win.in_flight))
+            self._occ_series.record(self.sim.now, win.in_flight)
 
     def _request(self, dst: int, handler: Callable, args: Tuple[int, ...]):
         if self._in_handler:

@@ -46,7 +46,7 @@ import struct
 import time
 from typing import Callable, Dict, List, Optional
 
-from repro.sim import Simulator
+from repro.sim import ShardedSimulator, Simulator
 
 #: committed pre-PR baseline (single-heap engine, counted-stale-wakeup
 #: semantics, reference dev box): adjusted events/sec on the full-size
@@ -102,6 +102,24 @@ DUAL_SCHEDULER = ("pingpong", "bulk", "alltoall")
 #: wheel scheduler and therefore include soak)
 ALL_WORKLOADS = ("pingpong", "bulk", "alltoall", "soak")
 
+#: node counts for the sharded scaling section (``--nodes``); iterations
+#: per ring round shrink with N so each config's wall stays ~seconds
+SCALING_NODES = (64, 256, 1024)
+SCALING_ITERS: Dict[int, int] = {64: 32, 256: 16, 1024: 4}
+
+
+def _make_sim(scheduler: str, idle_fast_forward: bool = True) -> Simulator:
+    """``"wheel"`` / ``"heap"`` / ``"sharded"`` — one seam for the suite.
+
+    The sharded engine's shards and lookahead are configured by
+    ``build_sp_machine`` (one shard per node, lookahead = switch
+    latency), so the factory itself stays topology-free.
+    """
+    if scheduler == "sharded":
+        return ShardedSimulator(idle_fast_forward=idle_fast_forward)
+    return Simulator(scheduler=scheduler,
+                     idle_fast_forward=idle_fast_forward)
+
 
 # ---------------------------------------------------------------------------
 # workload builders: populate ``sim`` and return the processes to wait on
@@ -135,8 +153,8 @@ def _build_pingpong(sim: Simulator, iterations: int,
         while got[0] < iterations:
             yield from am1._wait_progress()
 
-    p = sim.spawn(pinger(), name="perf-ping")
-    sim.spawn(ponger(), name="perf-pong")
+    p = sim.spawn(pinger(), name="perf-ping", shard=0)
+    sim.spawn(ponger(), name="perf-pong", shard=1)
     return [p]
 
 
@@ -165,8 +183,8 @@ def _build_bulk(sim: Simulator, nbytes: int, rounds: int,
         while not done[0]:
             yield from am1._wait_progress()
 
-    p = sim.spawn(mover(), name="perf-bulk")
-    sim.spawn(server(), name="perf-bulk-server")
+    p = sim.spawn(mover(), name="perf-bulk", shard=0)
+    sim.spawn(server(), name="perf-bulk-server", shard=1)
     return [p]
 
 
@@ -198,7 +216,42 @@ def _build_alltoall(sim: Simulator, nodes: int, nbytes: int,
         while finished[0] < nodes:
             yield from am._wait_progress()
 
-    return [sim.spawn(rank(r), name=f"a2a{r}") for r in range(nodes)]
+    return [sim.spawn(rank(r), name=f"a2a{r}", shard=r)
+            for r in range(nodes)]
+
+
+def _build_ring(sim: Simulator, nodes: int, iterations: int) -> list:
+    """Neighbor ring for the scaling section: every rank fires
+    ``iterations`` one-word requests at its right neighbor, then serves
+    the network until all traffic has landed.  All work is node-local
+    except the switch traversals, so the shard decomposition carries the
+    whole workload — the scaling story in its purest form."""
+    from repro.am import attach_am
+    from repro.hardware.machine import build_machine
+
+    machine = build_machine(sim, nodes, "sp-thin")
+    attach_am(machine)
+    ams = [machine.node(i).am for i in range(nodes)]
+    got = [0] * nodes
+    finished = [0]
+
+    def handler(token, x):
+        got[token.am.node.id] += 1
+
+    def rank(r):
+        am = ams[r]
+        right = (r + 1) % nodes
+        for i in range(iterations):
+            yield from am.request_1(right, handler, i)
+        finished[0] += 1
+        # serve until my own inbox is full and every rank is done —
+        # a rank that stopped polling early would strand its neighbor's
+        # tail traffic (and its flow-control acks)
+        while finished[0] < nodes or got[r] < iterations:
+            yield from am._wait_progress()
+
+    return [sim.spawn(rank(r), name=f"ring{r}", shard=r)
+            for r in range(nodes)]
 
 
 _BUILDERS: Dict[str, Callable] = {
@@ -297,7 +350,7 @@ def _digest_run(scheduler: str, name: str, sizes: tuple,
     observer lane: metrics-sampler ticks) are excluded — they are
     digest-neutral by contract.
     """
-    sim = Simulator(scheduler=scheduler)
+    sim = _make_sim(scheduler)
     procs = _BUILDERS[name](sim, *sizes, xfer_mode=xfer_mode)
     h = hashlib.blake2b(digest_size=16)
     pack = _DIGEST_PACK
@@ -312,12 +365,30 @@ def _digest_run(scheduler: str, name: str, sizes: tuple,
     return sim.now, h.hexdigest()
 
 
+def _soak_digest_run(pingpong: int, sharding: bool,
+                     xfer_mode: str = "eager"):
+    """One soak campaign with a digest recorder; ``(sim_us, digest)``."""
+    from repro.faults import run_soak
+
+    rec = _FFDigestRecorder()
+    res = run_soak(seed=11, loss=0.01, nodes=3, pingpong=pingpong,
+                   compare_clean=False, sim_check=rec,
+                   xfer_mode=xfer_mode, sharding=sharding)
+    if res.violations:
+        raise RuntimeError(
+            f"soak digest run violated reliability invariants: "
+            f"{res.violations}")
+    return res.elapsed_us, rec.hexdigest()
+
+
 def run_determinism(sizes: Optional[Dict[str, tuple]] = None,
                     xfer_mode: str = "eager") -> Dict:
-    """Differential check over every dual-scheduler workload.
+    """Differential check: sharded == wheel == heap per workload.
 
-    Returns ``{workload: {wheel_digest, heap_digest, wheel_sim_us,
-    heap_sim_us, identical}}`` plus an ``"identical"`` rollup key.
+    Returns ``{workload: {wheel_digest, heap_digest, sharded_digest,
+    wheel_sim_us, heap_sim_us, sharded_sim_us, identical}}`` plus a
+    ``"soak"`` leg (sharded vs sequential at 1% loss) and an
+    ``"identical"`` rollup key.
     """
     sizes = sizes or DIGEST_SIZES
     out: Dict = {}
@@ -327,15 +398,32 @@ def run_determinism(sizes: Optional[Dict[str, tuple]] = None,
             continue
         w_now, w_dig = _digest_run("wheel", name, sizes[name], xfer_mode)
         h_now, h_dig = _digest_run("heap", name, sizes[name], xfer_mode)
-        ok = (w_dig == h_dig) and (w_now == h_now)
+        s_now, s_dig = _digest_run("sharded", name, sizes[name], xfer_mode)
+        ok = (w_dig == h_dig == s_dig) and (w_now == h_now == s_now)
         all_ok = all_ok and ok
         out[name] = {
             "wheel_digest": w_dig,
             "heap_digest": h_dig,
+            "sharded_digest": s_dig,
             "wheel_sim_us": w_now,
             "heap_sim_us": h_now,
+            "sharded_sim_us": s_now,
             "identical": ok,
         }
+    soak_pp = (sizes.get("soak") or FF_DIGEST_SIZES["soak"])[0]
+    q_now, q_dig = _soak_digest_run(soak_pp, sharding=False,
+                                    xfer_mode=xfer_mode)
+    s_now, s_dig = _soak_digest_run(soak_pp, sharding=True,
+                                    xfer_mode=xfer_mode)
+    ok = (q_dig == s_dig) and (q_now == s_now)
+    all_ok = all_ok and ok
+    out["soak"] = {
+        "sequential_digest": q_dig,
+        "sharded_digest": s_dig,
+        "sequential_sim_us": q_now,
+        "sharded_sim_us": s_now,
+        "identical": ok,
+    }
     out["identical"] = all_ok
     return out
 
@@ -451,6 +539,66 @@ def run_ff_determinism(sizes: Optional[Dict[str, tuple]] = None,
 
 
 # ---------------------------------------------------------------------------
+# sharded scaling: ring traffic at 64/256/1024 nodes
+# ---------------------------------------------------------------------------
+
+def _scaling_run(scheduler: str, nodes: int, iterations: int) -> Dict:
+    """One timed + digest-recorded ring run on one engine."""
+    rec = _FFDigestRecorder()
+    sim = _make_sim(scheduler)
+    procs = _build_ring(sim, nodes, iterations)
+    sim.check = rec
+    t0 = time.perf_counter()
+    sim.run_until_processes_done(procs, limit=1e12)
+    wall = time.perf_counter() - t0
+    out = {
+        "scheduler": scheduler,
+        "events": sim.events_executed,
+        "stale_skipped": sim.stale_events_skipped,
+        "wall_s": round(wall, 4),
+        "adj_eps": round(_adjusted_eps(sim, wall), 1),
+        "sim_us": sim.now,
+        "digest": rec.hexdigest(),
+    }
+    if scheduler == "sharded":
+        out["rounds"] = sim.rounds
+        out["cross_posts"] = sim.cross_posts
+    return out
+
+
+def run_scaling(nodes_list=None,
+                iters: Optional[Dict[int, int]] = None) -> Dict:
+    """The ``--nodes`` scaling columns: per node count, the sharded
+    engine vs the sequential wheel on the neighbor-ring workload —
+    digests must match, and the events/sec ratio is the committed,
+    machine-independent scaling record the ``--check`` gate defends.
+    """
+    nodes_list = list(nodes_list or SCALING_NODES)
+    iters = iters or SCALING_ITERS
+    out: Dict = {}
+    all_ok = True
+    for n in nodes_list:
+        iterations = iters.get(n, max(4, 2048 // max(n, 1)))
+        seq = _scaling_run("wheel", n, iterations)
+        sh = _scaling_run("sharded", n, iterations)
+        ok = (seq["digest"] == sh["digest"]
+              and seq["sim_us"] == sh["sim_us"]
+              and seq["events"] == sh["events"])
+        all_ok = all_ok and ok
+        out[str(n)] = {
+            "nodes": n,
+            "iterations": iterations,
+            "sequential": seq,
+            "sharded": sh,
+            "ratio_sharded_over_sequential": round(
+                sh["adj_eps"] / seq["adj_eps"], 4),
+            "identical": ok,
+        }
+    out["identical"] = all_ok
+    return out
+
+
+# ---------------------------------------------------------------------------
 # critical-path attribution (embedded in the perf report)
 # ---------------------------------------------------------------------------
 
@@ -488,6 +636,7 @@ def run_perf(
     digest_sizes: Optional[Dict[str, tuple]] = None,
     ff_digest_sizes: Optional[Dict[str, tuple]] = None,
     xfer_mode: str = "eager",
+    scaling_nodes: Optional[List[int]] = None,
 ) -> Dict:
     """Run the whole suite; returns the report ``extra`` payload.
 
@@ -500,6 +649,8 @@ def run_perf(
     percentages on a noisy box.  ``xfer_mode`` selects the AM
     large-message strategy throughout (the determinism digests must be
     byte-identical under both ``eager`` and ``rendezvous``).
+    ``scaling_nodes`` adds the sharded scaling section (the ``--nodes``
+    columns) at the given node counts; ``None`` skips it.
     """
     sizes = sizes or (QUICK_SIZES if quick else FULL_SIZES)
     if repeat is None:
@@ -533,7 +684,7 @@ def run_perf(
         per["ratio_ff_on_over_off"] = round(
             per["wheel"]["adj_eps"] / per["wheel_noff"]["adj_eps"], 4)
         workloads[name] = per
-    return {
+    out = {
         "quick": quick,
         "repeat": repeat,
         "xfer_mode": xfer_mode,
@@ -543,6 +694,9 @@ def run_perf(
         "attribution": _attribution_section(50 if quick else 200),
         "baseline_pre_pr": dict(PRE_PR_BASELINE),
     }
+    if scaling_nodes is not None:
+        out["scaling"] = run_scaling(scaling_nodes)
+    return out
 
 
 def report_entries(data: Dict) -> List[tuple]:
@@ -566,6 +720,17 @@ def report_entries(data: Dict) -> List[tuple]:
     if att is not None:
         entries.append(("pingpong attribution coverage", 1.0,
                         att["coverage"]["coverage"]))
+    scaling = data.get("scaling")
+    if scaling is not None:
+        for key, per in scaling.items():
+            if key == "identical":
+                continue
+            entries.append((
+                f"ring {per['nodes']}n sharded events/sec (adjusted)",
+                None, per["sharded"]["adj_eps"]))
+            entries.append((
+                f"ring {per['nodes']}n sharded/sequential eps ratio",
+                None, per["ratio_sharded_over_sequential"]))
     return entries
 
 
@@ -618,8 +783,34 @@ def check_regression(current: Dict, committed: Dict,
                 f"{floor:.3f} (half the committed gain of {ref:.3f}) — "
                 f"idle fast-forward regression")
     if not current["determinism"]["identical"]:
-        problems.append("wheel/heap event-order digests differ")
+        problems.append(
+            "wheel/heap/sharded event-order digests differ")
     if not current.get("determinism_ff", {}).get("identical", True):
         problems.append(
             "idle fast-forward on/off event-order digests differ")
+    # sharded scaling: digests must hold at every measured node count,
+    # and the sharded/sequential eps ratio must not collapse vs the
+    # committed record (same machine-independence argument as above)
+    cur_scaling = current.get("scaling")
+    if cur_scaling is not None:
+        if not cur_scaling.get("identical", True):
+            problems.append(
+                "sharded/sequential event-order digests differ in the "
+                "scaling section")
+        ref_scaling = committed.get("scaling", {})
+        for key, per in cur_scaling.items():
+            if key == "identical":
+                continue
+            ref = ref_scaling.get(key, {}).get(
+                "ratio_sharded_over_sequential")
+            if ref is None:
+                continue  # node count not in the committed report
+            cur = per["ratio_sharded_over_sequential"]
+            floor = (1.0 - tolerance) * ref
+            if cur < floor:
+                problems.append(
+                    f"scaling {per['nodes']}n: sharded/sequential eps "
+                    f"ratio {cur:.3f} fell below {floor:.3f} "
+                    f"({(1.0 - tolerance) * 100:.0f}% of the committed "
+                    f"{ref:.3f}) — sharded engine regression")
     return problems

@@ -33,7 +33,7 @@ from repro.mpi import attach_mpi
 from repro.mpi.comm import Communicator
 from repro.mpi.status import ANY_SOURCE
 from repro.obs.core import Observatory
-from repro.sim import Simulator
+from repro.sim import ShardedSimulator, Simulator
 from repro.sim.errors import SimulationError
 
 #: fixed communicator contexts, one per subcommunicator name; kept below
@@ -200,14 +200,14 @@ class _CheckCampaign:
     def __init__(self, seed: int, nodes: int, ops: List[dict], loss: float,
                  collect: bool, limit: float,
                  only: Optional[List[str]] = None,
-                 xfer_mode: str = "eager"):
+                 xfer_mode: str = "eager", sharding: bool = False):
         self.seed = seed
         self.nodes = nodes
         self.ops = ops
         self.limit = limit
         self.violations: List[str] = []
         self.aborted = False
-        self.sim = Simulator()
+        self.sim = ShardedSimulator() if sharding else Simulator()
         self.machine = build_sp_machine(self.sim, nodes)
         self.obs = Observatory().attach(self.machine)
         self.ams = attach_spam(self.machine, xfer_mode=xfer_mode)
@@ -435,7 +435,7 @@ class _CheckCampaign:
     # -- execution ------------------------------------------------------
 
     def run(self) -> float:
-        procs = [self.sim.spawn(self._program(w), name=f"check{w}")
+        procs = [self.sim.spawn(self._program(w), name=f"check{w}", shard=w)
                  for w in range(self.nodes)]
         try:
             self.sim.run_until_processes_done(procs, limit=self.limit)
@@ -467,6 +467,7 @@ def run_campaign(
     limit: float = 5e7,
     only: Optional[List[str]] = None,
     xfer_mode: str = "eager",
+    sharding: bool = False,
 ) -> CampaignResult:
     """One seeded campaign under the sanitizer; returns its verdict.
 
@@ -474,10 +475,13 @@ def run_campaign(
     the ops are :func:`generate_ops(seed, nodes, nops)`.  ``xfer_mode``
     selects the AM large-message strategy, so the same op mix can
     cross-check the eager chunk protocol against rendezvous.
+    ``sharding`` runs the campaign on the per-node-sharded engine —
+    execution is digest-identical, so every sanitizer verdict carries
+    over unchanged.
     """
     ops = op_list if op_list is not None else generate_ops(seed, nodes, nops)
     camp = _CheckCampaign(seed, nodes, ops, loss, collect, limit, only,
-                          xfer_mode=xfer_mode)
+                          xfer_mode=xfer_mode, sharding=sharding)
     elapsed = camp.run()
     from repro.check.core import RecvWindowCheck
     from repro.obs.critpath import critpath_rollup

@@ -380,7 +380,7 @@ def cmd_perf(args) -> int:
     from repro.bench.perf import check_regression, report_entries, run_perf
 
     data = run_perf(quick=args.quick, repeat=args.repeat,
-                    xfer_mode=args.xfer_mode)
+                    xfer_mode=args.xfer_mode, scaling_nodes=args.nodes)
     rows = []
     for name, per in data["workloads"].items():
         w = per["wheel"]
@@ -394,14 +394,37 @@ def cmd_perf(args) -> int:
         if name == "identical":
             continue
         verdict = "identical" if d["identical"] else "MISMATCH"
-        print(f"determinism {name}: wheel==heap {verdict} "
-              f"(digest {d['wheel_digest'][:12]}.., "
-              f"t={d['wheel_sim_us']:.3f}us)")
+        if name == "soak":
+            print(f"determinism soak: sequential==sharded {verdict} "
+                  f"(digest {d['sequential_digest'][:12]}.., "
+                  f"t={d['sequential_sim_us']:.3f}us)")
+        else:
+            print(f"determinism {name}: wheel==heap==sharded {verdict} "
+                  f"(digest {d['wheel_digest'][:12]}.., "
+                  f"t={d['wheel_sim_us']:.3f}us)")
     rc = 0
     if not det["identical"]:
-        print("FAIL: wheel and heap schedulers executed different "
-              "event orders")
+        print("FAIL: the schedulers executed different event orders")
         rc = 1
+    scaling = data.get("scaling")
+    if scaling is not None:
+        rows = []
+        for key, per in scaling.items():
+            if key == "identical":
+                continue
+            sh = per["sharded"]
+            rows.append((per["nodes"], per["iterations"], sh["events"],
+                         sh["rounds"], sh["adj_eps"],
+                         per["ratio_sharded_over_sequential"],
+                         "yes" if per["identical"] else "NO"))
+        print(fmt_table("sharded scaling (ring all-to-neighbor)",
+                        ["nodes", "iters", "events", "rounds",
+                         "sharded ev/s", "sh/seq ratio", "identical"],
+                        rows))
+        if not scaling["identical"]:
+            print("FAIL: sharded scaling run diverged from the "
+                  "sequential reference")
+            rc = 1
     _write_report(args, "simperf", report_entries(data), extra=data)
     if args.check:
         import json
@@ -589,8 +612,8 @@ def main(argv=None) -> int:
                          "tracks")
     _add_report_opts(pf)
     pp = sub.add_parser(
-        "perf", help="simulator-core events/sec suite + wheel-vs-heap "
-                     "determinism check")
+        "perf", help="simulator-core events/sec suite + "
+                     "wheel/heap/sharded determinism check")
     pp.add_argument("--quick", action="store_true",
                     help="reduced workloads (CI smoke)")
     pp.add_argument("--repeat", type=_positive_int, default=None,
@@ -600,6 +623,11 @@ def main(argv=None) -> int:
                          "this committed BENCH_simperf.json")
     pp.add_argument("--tolerance", type=float, default=0.2,
                     help="allowed ratio drop for --check (default 0.2)")
+    pp.add_argument("--nodes", type=_positive_int, nargs="+", default=None,
+                    metavar="N",
+                    help="sharded scaling section: ring workload at these "
+                         "node counts, sharded vs sequential (e.g. "
+                         "--nodes 64 256 1024)")
     _add_xfer_mode(pp)
     _add_report_opts(pp)
     ps = sub.add_parser(

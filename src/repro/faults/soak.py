@@ -47,7 +47,7 @@ from repro.faults.injector import InjectedFault, install_faults
 from repro.faults.plan import FaultPlan
 from repro.hardware.machine import build_sp_machine
 from repro.obs.core import Observatory
-from repro.sim import Simulator
+from repro.sim import ShardedSimulator, Simulator
 from repro.sim.errors import SimulationError
 from repro.splitc.gptr import GlobalPtr
 from repro.splitc.runtime import attach_splitc
@@ -174,13 +174,16 @@ class _Campaign:
                  plan: Optional[FaultPlan], limit: float,
                  idle_fast_forward: bool = True,
                  sample_period_us: Optional[float] = None,
-                 xfer_mode: str = "eager"):
+                 xfer_mode: str = "eager", sharding: bool = False):
         self.nodes = nodes
         self.pingpong = pingpong
         self.bulk_bytes = bulk_bytes
         self.limit = limit
         self.violations: List[str] = []
-        self.sim = Simulator(idle_fast_forward=idle_fast_forward)
+        if sharding:
+            self.sim = ShardedSimulator(idle_fast_forward=idle_fast_forward)
+        else:
+            self.sim = Simulator(idle_fast_forward=idle_fast_forward)
         self.machine = build_sp_machine(self.sim, nodes)
         self.obs = Observatory().attach(self.machine)
         if sample_period_us is not None:
@@ -292,7 +295,7 @@ class _Campaign:
     # -- execution + checks ---------------------------------------------------
 
     def run(self) -> float:
-        procs = [self.sim.spawn(self._program(r), name=f"soak{r}")
+        procs = [self.sim.spawn(self._program(r), name=f"soak{r}", shard=r)
                  for r in range(self.nodes)]
         try:
             self.sim.run_until_processes_done(procs, limit=self.limit)
@@ -419,6 +422,7 @@ def run_soak(
     sim_check: Optional[object] = None,
     sample_period_us: Optional[float] = 50.0,
     xfer_mode: str = "eager",
+    sharding: bool = False,
 ) -> SoakResult:
     """Run the soak workload under a fault plan; return the evidence.
 
@@ -434,6 +438,10 @@ def run_soak(
     unsequenced lane, so they no longer perturb the perf suite's
     event-order digests; pass ``None`` to disable).  ``xfer_mode``
     selects the AM large-message strategy for the bulk phase.
+    ``sharding`` runs the lossy campaign on the
+    :class:`~repro.sim.shard.ShardedSimulator` (one shard per node,
+    round barriers at the switch latency) — digest-identical to the
+    sequential engine by construction, and checked by the perf suite.
     """
     if plan is None:
         plan = (FaultPlan.chaos(seed, loss) if chaos
@@ -453,7 +461,7 @@ def run_soak(
     lossy = _Campaign(nodes, pingpong, bulk_bytes, plan=plan, limit=limit,
                       idle_fast_forward=idle_fast_forward,
                       sample_period_us=sample_period_us,
-                      xfer_mode=xfer_mode)
+                      xfer_mode=xfer_mode, sharding=sharding)
     if sim_check is not None:
         lossy.sim.check = sim_check
     elapsed = lossy.run()

@@ -37,6 +37,10 @@ class Switch:
         # per-packet constants (SwitchParams is frozen, so never stale)
         self._latency = params.latency
         self._link_rate = params.link_rate
+        # cross-shard delivery seam, resolved once (hot path): on a
+        # ShardedSimulator this routes the event into the destination
+        # node's shard; the sequential engine ignores the shard id
+        self._post = sim.post_cross
         #: observability hub (set by Observatory.attach; None = untraced)
         self.obs = None
         #: queue-wait histogram resolved once per hub (hot path)
@@ -88,23 +92,29 @@ class Switch:
         if self.faults is not None:
             act = self.faults.at_switch(packet, self.sim.now)
             if act is not None:
-                if act.kind == "drop":
-                    self.stats.count("packets_dropped_fault")
-                    if self.obs is not None:
-                        self.obs.packet_dropped(packet, "fault_drop")
-                    return
-                if act.kind == "corrupt":
-                    # the corrupted clone travels instead of the original;
-                    # the receive adapter's CRC check will reject it
-                    packet = act.packet
-                    self.stats.count("packets_corrupted_fault")
-                elif act.kind == "reorder":
-                    reorder_hold = act.delay_us
-                    self.stats.count("packets_reordered_fault")
-                elif act.kind == "duplicate":
-                    duplicate = act.packet
-                    dup_delay = act.delay_us
-                    self.stats.count("packets_duplicated_fault")
+                # ``at_switch`` returns a single action or a list of them
+                # (stock FaultInjector fires at most one rule per packet;
+                # custom injectors may combine, e.g. reorder + duplicate).
+                acts = act if isinstance(act, (list, tuple)) else (act,)
+                for act in acts:
+                    if act.kind == "drop":
+                        self.stats.count("packets_dropped_fault")
+                        if self.obs is not None:
+                            self.obs.packet_dropped(packet, "fault_drop")
+                        return
+                    if act.kind == "corrupt":
+                        # the corrupted clone travels instead of the
+                        # original; the receive adapter's CRC check will
+                        # reject it
+                        packet = act.packet
+                        self.stats.count("packets_corrupted_fault")
+                    elif act.kind == "reorder":
+                        reorder_hold = act.delay_us
+                        self.stats.count("packets_reordered_fault")
+                    elif act.kind == "duplicate":
+                        duplicate = act.packet
+                        dup_delay = act.delay_us
+                        self.stats.count("packets_duplicated_fault")
         dst = packet.dst
         dlf = self._dest_link_free
         wire_time = packet.wire_bytes / self._link_rate
@@ -126,20 +136,30 @@ class Switch:
                 span.marks["sw_deliver"] = deliver_at
                 span.queued_us += queueing
         self.in_flight += 1
-        self.sim.at(deliver_at, self._hand_off, adapters[dst], packet)
+        self._post(dst, deliver_at, self._hand_off, adapters[dst], packet)
         if duplicate is not None:
             # The fabric's stray copy trails the original by the rule's
             # delay, but it still occupies the destination link for its own
             # wire time — otherwise the duplicate overlaps the next
             # packet's serialization and the link briefly carries two
-            # packets at once.
-            dup_start = max(dlf[duplicate.dst], start + dup_delay)
-            dlf[duplicate.dst] = dup_start + wire_time
+            # packets at once.  A reorder rule targets the *original*
+            # packet, so the copy is delivered without its hold; queueing
+            # behind earlier traffic counts toward ``dest_link_queued``
+            # like any other packet.
+            dup_dst = duplicate.dst
+            dup_ready = start + dup_delay
+            dup_link_free = dlf[dup_dst]
+            dup_start = dup_link_free if dup_link_free > dup_ready else dup_ready
+            if dup_start > dup_ready:
+                self.stats.count("dest_link_queued")
+            dlf[dup_dst] = dup_start + wire_time
             self.stats.count("dup_link_charged")
+            if self.obs is not None:
+                self.link_busy_us[dup_dst] += wire_time
             self.in_flight += 1
-            self.sim.at(dup_start + self._latency + reorder_hold,
-                        self._hand_off, adapters[duplicate.dst],
-                        duplicate)
+            self._post(dup_dst, dup_start + self._latency,
+                       self._hand_off, adapters[dup_dst],
+                       duplicate)
 
     def _hand_off(self, adapter, packet: Packet) -> None:
         self.in_flight -= 1

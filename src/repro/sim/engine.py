@@ -175,6 +175,10 @@ class Simulator:
         "_far", "check", "last_event",
     )
 
+    #: True on :class:`~repro.sim.shard.ShardedSimulator`; hardware
+    #: builders consult this to wire per-node shards
+    sharded = False
+
     def __init__(
         self,
         scheduler: str = "wheel",
@@ -272,6 +276,24 @@ class Simulator:
         else:
             heappush(self._queue, entry)
         return entry
+
+    def schedule_into(self, shard: int, delay: float,
+                      fn: Callable[..., None], *args: Any) -> list:
+        """Shard-aware :meth:`schedule`: the sequential engine has a single
+        event zone, so the shard id is accepted (for seam compatibility)
+        and ignored.  :class:`~repro.sim.shard.ShardedSimulator` overrides
+        this to place the entry in ``shard``'s local zone."""
+        return self.schedule(delay, fn, *args)
+
+    def post_cross(self, shard: int, when: float, fn: Callable[..., None],
+                   *args: Any) -> list:
+        """Shard-aware :meth:`at` — the cross-shard delivery seam used by
+        the switch.  Sequentially this *is* ``at`` (shard id ignored);
+        :class:`~repro.sim.shard.ShardedSimulator` overrides it to stamp
+        the entry's ``(when, seq)`` immediately but defer queue insertion
+        to the next round barrier, enforcing the conservative lookahead
+        bound (``when >= now + lookahead``)."""
+        return self.at(when, fn, *args)
 
     def call_later(self, delay: float, fn: Callable[..., None],
                    *args: Any) -> TimerHandle:
@@ -439,11 +461,18 @@ class Simulator:
 
     # -- running ----------------------------------------------------------
 
-    def spawn(self, gen, name: str = "") -> "Process":  # noqa: F821
-        """Register a generator as a process starting at the current time."""
+    def spawn(self, gen, name: str = "",
+              shard: Optional[int] = None) -> "Process":  # noqa: F821
+        """Register a generator as a process starting at the current time.
+
+        ``shard`` pins the process's events to one node's shard zone on a
+        :class:`~repro.sim.shard.ShardedSimulator`; the sequential engine
+        accepts and ignores it, so workloads can pass node ids
+        unconditionally.
+        """
         from repro.sim.process import Process
 
-        return Process(self, gen, name=name)
+        return Process(self, gen, name=name, shard=shard)
 
     def step(self) -> bool:
         """Execute one live event.  Returns False when the queue is empty.

@@ -28,7 +28,8 @@ class Process:
     __slots__ = ("sim", "gen", "name", "done", "finished", "result", "error",
                  "_waiting", "_send", "_resume", "_schedule")
 
-    def __init__(self, sim, gen: Generator, name: str = ""):
+    def __init__(self, sim, gen: Generator, name: str = "",
+                 shard: Optional[int] = None):
         self.sim = sim
         self.gen = gen
         self.name = name
@@ -44,7 +45,14 @@ class Process:
         self._schedule = sim.schedule
         sim._process_started()
         # First step at the current instant, after already-queued events.
-        sim.schedule(0.0, self._resume)
+        # Pinning the first resume to ``shard`` is enough to pin the whole
+        # process: every later schedule the process issues runs from one of
+        # its own callbacks, and a ShardedSimulator's ``schedule`` inherits
+        # the executing event's shard.
+        if shard is None:
+            sim.schedule(0.0, self._resume)
+        else:
+            sim.schedule_into(shard, 0.0, self._resume)
 
     # -- engine-facing ----------------------------------------------------
 

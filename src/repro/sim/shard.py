@@ -1,0 +1,348 @@
+"""Deterministic round-based node sharding (phase 1 of parallel sim).
+
+The machine decomposes naturally along node boundaries: every process,
+timer, and adapter event is local to one node, and the *only* cross-node
+interaction is a packet traversing the switch — which always pays at least
+the ~0.5 µs hardware latency (§1.2).  That latency is therefore a sound
+**conservative lookahead**: during the round ``[T, T + latency)`` no shard
+can receive an event from another shard that lands inside the round,
+because any packet injected at time ``t ≥ T`` delivers no earlier than
+``t + latency ≥ T + latency``.
+
+:class:`ShardedSimulator` realizes phase 1 of that plan *deterministically*:
+
+* each node owns a :class:`Shard` — a private event zone (binary heap)
+  holding its processes' and hardware's pending events;
+* the switch is the sole cross-shard channel: deliveries go through
+  :meth:`ShardedSimulator.post_cross`, which stamps the entry's
+  ``(when, seq)`` immediately (identical to the sequential engine) but
+  buffers it in a global *exchange* applied at the next round barrier,
+  and rejects any post that would violate the lookahead bound;
+* shards drain their local events up to the round horizon
+  (``round start + lookahead``); when every shard is drained the round
+  barrier flushes the exchange and opens the next round at the earliest
+  pending event.
+
+Within a round the engine still executes events in exact global
+``(time, seq)`` order via a k-way merge over the shard zones — sequence
+numbers are assigned at ``schedule()`` call time by the shared counter, so
+any other intra-round order would change timer/tie-break identity.  This
+makes sharded execution **digest-identical** to the sequential wheel and
+heap schedulers (the PR 3/5 event-order digest machinery is the harness:
+``spam-bench perf`` and ``tests/sim/test_sharded.py`` assert
+``sharded == sequential == heap`` on the protocol workloads and the lossy
+soak).  What the rounds buy is the phase-2 seam: per-shard zones plus
+barrier-exchanged packets are exactly the state partitioning a
+``multiprocessing`` backend needs — one worker per shard, digests compared
+per round.
+
+The merge keeps **one valid candidate per shard** in a single binary heap:
+a shard's earliest entry is registered as a merge *item*; scheduling an
+even-earlier entry into that shard lazily invalidates the item and
+registers a replacement (the displaced entry returns to the shard heap).
+Pops that surface an invalidated item discard it; pops that surface a
+tombstoned (cancelled) entry count it as stale exactly like the sequential
+schedulers.  Each barrier is O(changed shards · log S), not O(S), so tiny
+0.5 µs rounds stay cheap even at 1024 nodes.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Callable, List, Optional
+
+from repro.sim.engine import NEGATIVE_DELAY_EPSILON, Simulator
+
+_INF = float("inf")
+
+
+class Shard:
+    """One node's private event zone: a binary heap of queue entries plus
+    the zone's current *candidate* — its earliest entry, registered in the
+    simulator's k-way merge heap.  Invariant: ``_cand is None`` exactly
+    when the zone heap is empty and no candidate is registered."""
+
+    __slots__ = ("id", "_heap", "_cand")
+
+    def __init__(self, shard_id: int):
+        self.id = shard_id
+        self._heap: List[list] = []
+        #: the merge item currently representing this shard, or None
+        self._cand: Optional[list] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        n = len(self._heap) + (1 if self._cand is not None else 0)
+        return f"Shard({self.id}, {n} queued)"
+
+
+class ShardedSimulator(Simulator):
+    """Drop-in :class:`Simulator` with per-node shard zones and
+    round-barrier cross-shard exchange.
+
+    Construction mirrors ``Simulator()``; call :meth:`configure_shards`
+    (``build_sp_machine`` does this automatically when it sees
+    ``sim.sharded``) to create one shard per node and set the lookahead.
+    Events scheduled from a callback inherit the executing event's shard,
+    so pinning a process's first resume (``spawn(..., shard=n)``) pins the
+    whole process; unpinned work lands in shard 0.
+
+    ``idle_fast_forward`` is accepted for signature compatibility but
+    inert: the fast drains are a wheel-scheduler specialization, and the
+    sharded engine always runs the reference dispatch loop.
+    """
+
+    __slots__ = (
+        "_shards", "_active_shard", "_merge", "_exchange",
+        "_lookahead", "_horizon", "_reg", "rounds", "cross_posts",
+    )
+
+    sharded = True
+
+    def __init__(self, idle_fast_forward: bool = True) -> None:
+        super().__init__(scheduler="heap",
+                         idle_fast_forward=idle_fast_forward)
+        #: reported in perf records / repr; "heap" internals are unused
+        self.scheduler = "sharded"
+        self._shards: List[Shard] = [Shard(0)]
+        self._active_shard = 0
+        #: k-way merge heap of items ``[when, seq, reg, shard_id, entry]``;
+        #: ``reg`` is a unique registration stamp so comparisons never
+        #: reach the (possibly invalidated) entry slot
+        self._merge: List[list] = []
+        #: cross-shard entries awaiting the round barrier:
+        #: ``(shard_id, entry)`` in post order
+        self._exchange: List[tuple] = []
+        self._lookahead = _INF
+        self._horizon = _INF
+        self._reg = 0
+        #: round barriers crossed (horizon advances)
+        self.rounds = 0
+        #: cross-shard posts buffered through the exchange
+        self.cross_posts = 0
+
+    # -- topology ---------------------------------------------------------
+
+    def configure_shards(self, n: int, lookahead_us: float) -> None:
+        """Create shards ``0..n-1`` (shard ids are node ids) and set the
+        conservative lookahead — the minimum cross-shard latency, i.e.
+        ``SwitchParams.latency``.  Safe to call again with a larger ``n``
+        (shards are never destroyed)."""
+        if n < 1:
+            raise ValueError("need at least one shard")
+        if lookahead_us <= 0.0:
+            raise ValueError("lookahead_us must be positive")
+        shards = self._shards
+        while len(shards) < n:
+            shards.append(Shard(len(shards)))
+        self._lookahead = lookahead_us
+        self._horizon = self.now + lookahead_us
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    # -- scheduling (shard-aware overrides) -------------------------------
+    #
+    # Bodies replicate the base validation exactly — including the
+    # ``now + delay`` float round-trip in ``at`` — because scheduled
+    # timestamps must stay bit-identical to the sequential engine's for
+    # the digests to match.
+
+    def schedule(self, delay: float, fn: Callable[..., None],
+                 *args: Any) -> list:
+        if delay < 0.0:
+            if delay < -NEGATIVE_DELAY_EPSILON:
+                raise ValueError(f"cannot schedule in the past (delay={delay})")
+            delay = 0.0  # accumulated float error, not intent
+        self._seq += 1
+        entry = [self.now + delay, self._seq, fn, args]
+        self._insert(entry, self._shards[self._active_shard])
+        return entry
+
+    def at(self, when: float, fn: Callable[..., None], *args: Any) -> list:
+        delay = when - self.now
+        if delay < 0.0:
+            if delay < -NEGATIVE_DELAY_EPSILON:
+                raise ValueError(f"cannot schedule in the past (delay={delay})")
+            delay = 0.0  # accumulated float error, not intent
+        self._seq += 1
+        entry = [self.now + delay, self._seq, fn, args]
+        self._insert(entry, self._shards[self._active_shard])
+        return entry
+
+    def schedule_unsequenced(self, delay: float, fn: Callable[..., None],
+                             *args: Any) -> list:
+        if delay <= 0.0:
+            raise ValueError(
+                f"unsequenced delay must be positive, got {delay}")
+        self._useq -= 1
+        entry = [self.now + delay, self._useq, fn, args]
+        self._insert(entry, self._shards[self._active_shard])
+        return entry
+
+    def schedule_into(self, shard: int, delay: float,
+                      fn: Callable[..., None], *args: Any) -> list:
+        """:meth:`schedule` into an explicit shard's zone (process
+        pinning)."""
+        if not 0 <= shard < len(self._shards):
+            raise ValueError(f"no shard {shard} "
+                             f"(have {len(self._shards)})")
+        if delay < 0.0:
+            if delay < -NEGATIVE_DELAY_EPSILON:
+                raise ValueError(f"cannot schedule in the past (delay={delay})")
+            delay = 0.0
+        self._seq += 1
+        entry = [self.now + delay, self._seq, fn, args]
+        self._insert(entry, self._shards[shard])
+        return entry
+
+    def post_cross(self, shard: int, when: float, fn: Callable[..., None],
+                   *args: Any) -> list:
+        """Cross-shard post (the switch's delivery seam).
+
+        The entry's ``(when, seq)`` is stamped *now* — call order is what
+        the sequential engine would have used, so digests stay identical —
+        but queue insertion is deferred to the round barrier via the
+        exchange buffer.  Enforces the conservative bound
+        ``when >= now + lookahead``: a violation means some cross-shard
+        path is faster than the configured lookahead and the decomposition
+        would be unsound.
+        """
+        if not 0 <= shard < len(self._shards):
+            raise ValueError(f"no shard {shard} "
+                             f"(have {len(self._shards)})")
+        lookahead = self._lookahead
+        if lookahead is _INF:
+            raise RuntimeError(
+                "post_cross before configure_shards(): the conservative "
+                "lookahead bound is not set")
+        delay = when - self.now
+        if delay < 0.0:
+            if delay < -NEGATIVE_DELAY_EPSILON:
+                raise ValueError(f"cannot schedule in the past (delay={delay})")
+            delay = 0.0
+        when = self.now + delay
+        if when + NEGATIVE_DELAY_EPSILON < self.now + lookahead:
+            raise ValueError(
+                f"cross-shard post at t={when} violates the conservative "
+                f"lookahead bound (now={self.now}, lookahead={lookahead})")
+        self._seq += 1
+        entry = [when, self._seq, fn, args]
+        self._exchange.append((shard, entry))
+        self.cross_posts += 1
+        return entry
+
+    # -- merge internals --------------------------------------------------
+
+    def _insert(self, entry: list, shard: Shard) -> None:
+        cand = shard._cand
+        if cand is None:
+            # invariant: zone heap is empty — register directly
+            self._reg += 1
+            item = [entry[0], entry[1], self._reg, shard.id, entry]
+            shard._cand = item
+            heappush(self._merge, item)
+        elif (entry[0] < cand[0]
+              or (entry[0] == cand[0] and entry[1] < cand[1])):
+            # preempt: the new entry is the shard's earliest — displace
+            # the candidate back into the zone and lazily invalidate its
+            # merge item
+            heappush(shard._heap, cand[4])
+            cand[4] = None
+            self._reg += 1
+            item = [entry[0], entry[1], self._reg, shard.id, entry]
+            shard._cand = item
+            heappush(self._merge, item)
+        else:
+            heappush(shard._heap, entry)
+
+    def _refill(self, shard: Shard) -> None:
+        heap = shard._heap
+        if heap:
+            entry = heappop(heap)
+            self._reg += 1
+            item = [entry[0], entry[1], self._reg, shard.id, entry]
+            shard._cand = item
+            heappush(self._merge, item)
+
+    def _flush_exchange(self) -> None:
+        shards = self._shards
+        for shard_id, entry in self._exchange:
+            self._insert(entry, shards[shard_id])
+        self._exchange.clear()
+
+    # -- queue interface (overrides driven by the base run loops) ---------
+
+    def _next_live(self) -> Optional[list]:
+        check = self.check
+        merge = self._merge
+        shards = self._shards
+        while True:
+            # flushing early is sound: every exchanged entry lands at or
+            # past the current horizon, so it cannot execute before the
+            # barrier anyway — the buffer exists as the phase-2 seam and
+            # to enforce the lookahead bound at post time
+            if self._exchange:
+                self._flush_exchange()
+            while merge and merge[0][4] is None:
+                heappop(merge)  # invalidated by a preempting _insert
+            if not merge:
+                return None
+            item = merge[0]
+            entry = item[4]
+            if entry[2] is None:
+                # tombstoned (cancelled) candidate: discard and count it
+                # here — the single stale-skip site, like the base class
+                heappop(merge)
+                shard = shards[item[3]]
+                shard._cand = None
+                self.stale_events_skipped += 1
+                self._stale_pending -= 1
+                if check is not None:
+                    check.on_stale(entry)
+                self._refill(shard)
+                continue
+            if item[0] < self._horizon:
+                return entry
+            # round barrier: every shard is drained up to the horizon and
+            # the exchange is empty — open the next round at the earliest
+            # pending event (guard: at huge timestamps ``t + lookahead``
+            # can round to ``t``; an unbounded final round is still exact)
+            nh = item[0] + self._lookahead
+            self._horizon = nh if nh > item[0] else _INF
+            self.rounds += 1
+
+    def _consume(self, entry: list) -> None:
+        # the base loops consume exactly the entry _next_live returned,
+        # which is still the merge head
+        item = heappop(self._merge)
+        shard_id = item[3]
+        shard = self._shards[shard_id]
+        shard._cand = None
+        # shard affinity: events scheduled by this entry's callback land
+        # in its shard (set before the base loop invokes the callback)
+        self._active_shard = shard_id
+        self._refill(shard)
+
+    def _peek(self) -> Optional[list]:
+        if self._exchange:
+            self._flush_exchange()
+        merge = self._merge
+        while merge and merge[0][4] is None:
+            heappop(merge)
+        return merge[0][4] if merge else None
+
+    def _pending_count(self) -> int:
+        return (len(self._exchange)
+                + sum(1 for item in self._merge if item[4] is not None)
+                + sum(len(s._heap) for s in self._shards))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardedSimulator(t={self.now:.3f}us, "
+            f"{len(self._shards)} shards, rounds={self.rounds}, "
+            f"queued={self._pending_count()} "
+            f"({self.live_pending_count()} live), "
+            f"live={self._live_processes}, "
+            f"blocked={self._blocked_processes})"
+        )

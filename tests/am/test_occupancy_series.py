@@ -1,0 +1,61 @@
+"""Regression: window-occupancy sampling must honour the bounded ring.
+
+``SPAM._note_occupancy`` used to append to ``TimeSeries.samples``
+directly, bypassing :meth:`TimeSeries.record` — on a capacity-bounded
+series the deque silently evicted old samples while ``dropped_samples``
+stayed 0, so long soaks could not tell truncated data from complete data.
+"""
+
+from repro.am import attach_spam
+from repro.hardware.machine import build_sp_machine
+from repro.obs import Observatory
+from repro.sim import Simulator, TimeSeries
+
+
+def test_occupancy_sampling_counts_ring_evictions():
+    sim = Simulator()
+    machine = build_sp_machine(sim, 2)
+    ams = attach_spam(machine)
+    Observatory().attach(machine)
+
+    # swap in a tightly bounded ring so a short run overflows it
+    capacity = 4
+    ams[0]._occ_series = TimeSeries("window_occupancy", capacity=capacity)
+
+    def handler(token, x):
+        pass
+
+    def prog():
+        for r in range(16):
+            yield from ams[0].request_1(1, handler, r)
+
+    p = sim.spawn(prog(), name="sender")
+    sim.run_until_processes_done([p])
+
+    series = ams[0]._occ_series
+    assert len(series.samples) == capacity
+    # every eviction is accounted — this is what the direct append lost
+    assert series.dropped_samples > 0
+    recorded = len(series.samples) + series.dropped_samples
+    assert recorded > capacity
+
+
+def test_occupancy_sampling_unbounded_default_unchanged():
+    sim = Simulator()
+    machine = build_sp_machine(sim, 2)
+    ams = attach_spam(machine)
+    Observatory().attach(machine)
+
+    def handler(token, x):
+        pass
+
+    def prog():
+        for r in range(8):
+            yield from ams[0].request_1(1, handler, r)
+
+    p = sim.spawn(prog(), name="sender")
+    sim.run_until_processes_done([p])
+
+    series = ams[0]._occ_series
+    assert len(series.samples) > 0
+    assert series.dropped_samples == 0

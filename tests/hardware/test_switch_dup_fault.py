@@ -71,10 +71,12 @@ def test_duplicate_charges_dest_link_wire_time():
     assert sw._dest_link_free[1] == pytest.approx(2 * wire_time)
     assert sw.stats.get("dup_link_charged") == 1
 
-    # a packet converging right behind the pair queues behind BOTH copies
+    # a packet converging right behind the pair queues behind BOTH copies;
+    # the count is 2 — the duplicate itself queued behind the original
+    # (delay 0, link busy), and the follower queued behind the duplicate
     sw.inject(_full_packet(seq=1), wire_exit_time=0.0)
     assert sw._dest_link_free[1] == pytest.approx(3 * wire_time)
-    assert sw.stats.get("dest_link_queued") == 1
+    assert sw.stats.get("dest_link_queued") == 2
 
     sim.run()
     times = sorted(t for t, _ in rx.arrivals)
@@ -101,3 +103,85 @@ def test_no_fault_leaves_link_accounting_unchanged():
     sw.inject(_full_packet(seq=0), wire_exit_time=0.0)
     assert sw._dest_link_free[1] == pytest.approx(wire_time)
     assert sw.stats.get("dup_link_charged") == 0
+
+
+class _ObsStub:
+    """Minimal observability hub: just enough surface for Switch.inject."""
+
+    def __init__(self):
+        self.spans = {}
+        self._hist = SimpleNamespace(observe=lambda v: None)
+
+    def hist(self, name):
+        return self._hist
+
+    def packet_dropped(self, packet, reason):  # pragma: no cover
+        pass
+
+
+def test_duplicate_wire_time_counted_in_link_busy():
+    """Regression: the stray copy holds the destination link, so its wire
+    time must show up in the per-link utilization gauge's source counter
+    (``link_busy_us``) — previously only ``_dest_link_free`` was charged
+    and utilization undercounted under duplicate faults."""
+    sim, sw, rx, params = _setup(_DuplicateOnce())
+    sw.obs = _ObsStub()
+    wire_time = _full_packet().wire_bytes / params.link_rate
+
+    sw.inject(_full_packet(seq=0), wire_exit_time=0.0)
+    # original + duplicate each serialize once on link 1
+    assert sw.link_busy_us[1] == pytest.approx(2 * wire_time)
+
+    sim.run()
+    assert len(rx.arrivals) == 2
+
+
+def test_duplicate_link_busy_untraced_stays_zero():
+    sim, sw, rx, params = _setup(_DuplicateOnce())
+    sw.inject(_full_packet(seq=0), wire_exit_time=0.0)
+    # without an Observatory the gauge source is never touched (hot path)
+    assert sw.link_busy_us[1] == 0.0
+
+
+class _ReorderAndDuplicate:
+    """Duck-typed injector combining two rules on the first packet —
+    exercises the list-of-actions form of ``at_switch``."""
+
+    def __init__(self, hold_us):
+        self.hold_us = hold_us
+        self.done = False
+
+    def at_switch(self, packet, now):
+        if self.done:
+            return None
+        self.done = True
+        return [
+            SimpleNamespace(kind="reorder", delay_us=self.hold_us),
+            SimpleNamespace(kind="duplicate", packet=packet.clone(),
+                            delay_us=0.0),
+        ]
+
+    def at_rx(self, packet, now):  # pragma: no cover - not exercised
+        return False
+
+
+def test_duplicate_does_not_inherit_reorder_hold():
+    """Regression: a reorder rule targets the *original* packet; the
+    fabric's stray copy must be delivered without the hold (it used to
+    inherit it and arrive ``reorder_hold`` late)."""
+    hold = 40.0
+    sim, sw, rx, params = _setup(_ReorderAndDuplicate(hold_us=hold))
+    wire_time = _full_packet().wire_bytes / params.link_rate
+
+    sw.inject(_full_packet(seq=0), wire_exit_time=0.0)
+    # dup (delay 0) queues behind the original's serialization slot
+    assert sw.stats.get("dest_link_queued") == 1
+    assert sw.stats.get("packets_reordered_fault") == 1
+    assert sw.stats.get("packets_duplicated_fault") == 1
+
+    sim.run()
+    times = sorted(t for t, _ in rx.arrivals)
+    assert len(times) == 2
+    # the un-held duplicate overtakes the held original
+    assert times[0] == pytest.approx(wire_time + params.latency)
+    assert times[1] == pytest.approx(params.latency + hold)

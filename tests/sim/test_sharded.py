@@ -1,0 +1,322 @@
+"""Differential tests for the deterministic sharded event core.
+
+``ShardedSimulator`` is pure decomposition: per-node event zones, a k-way
+merge, and round barriers at the conservative lookahead.  It must execute
+exactly the events the sequential reference schedulers execute, at the
+same simulated times, in the same order — including under cancellation,
+Timeout races, cross-shard posts, and fabric faults.  These tests mirror
+``TestIdleFastForwardEquivalence`` with the sharded engine as the third
+leg.
+"""
+
+import hashlib
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.am import attach_spam
+from repro.faults.injector import install_faults
+from repro.faults.plan import FaultPlan
+from repro.hardware.machine import build_sp_machine
+from repro.sim import Delay, ShardedSimulator, Simulator, Timeout
+from repro.sim.primitives import TIMED_OUT
+
+N_SHARDS = 4
+LOOKAHEAD = 0.5  # µs — same magnitude as SwitchParams.latency
+
+
+def _make_sim(scheduler, idle_fast_forward=True):
+    if scheduler == "sharded":
+        sim = ShardedSimulator(idle_fast_forward=idle_fast_forward)
+        sim.configure_shards(N_SHARDS, LOOKAHEAD)
+        return sim
+    return Simulator(scheduler=scheduler,
+                     idle_fast_forward=idle_fast_forward)
+
+
+# ---------------------------------------------------------------------------
+# randomized schedule/cancel/cross-post workload
+# ---------------------------------------------------------------------------
+
+_DELAY_MENU = (0.0, 0.13, 1.0, 7.5, 63.9, 64.0, 64.1, 200.0, 5_000.0)
+
+
+def _run_random_workload(scheduler, seed, spawn_cap=400):
+    """Self-similar random workload over four shards: callbacks schedule
+    locally (shard affinity is inherited), cancel pending timers, and
+    occasionally post into a random *other* shard at ``>= lookahead``
+    distance — the switch's delivery pattern.  Decisions are drawn from a
+    seeded RNG in execution order, so two engines draw identical decisions
+    iff they execute identical event orders."""
+    sim = _make_sim(scheduler)
+    rng = random.Random(seed)
+    log = []
+    handles = []
+    next_tag = [0]
+
+    def cb(tag):
+        log.append((sim.now, tag))
+        if next_tag[0] < spawn_cap:
+            for _ in range(rng.randrange(3)):
+                next_tag[0] += 1
+                delay = rng.choice(_DELAY_MENU) + rng.random() * 3.0
+                roll = rng.random()
+                if roll < 0.25:
+                    handles.append(sim.call_later(delay, cb, next_tag[0]))
+                elif roll < 0.45:
+                    # cross-shard: an absolute-time post into any shard,
+                    # at or past the conservative lookahead bound
+                    sim.post_cross(rng.randrange(N_SHARDS),
+                                   sim.now + LOOKAHEAD + delay,
+                                   cb, next_tag[0])
+                else:
+                    sim.schedule(delay, cb, next_tag[0])
+        if handles and rng.random() < 0.25:
+            handles.pop(rng.randrange(len(handles))).cancel()
+
+    for i in range(20):
+        next_tag[0] += 1
+        sim.schedule_into(i % N_SHARDS, rng.choice(_DELAY_MENU),
+                          cb, next_tag[0])
+    sim.run()
+    return sim, log
+
+
+def _run_random_timeout_workload(scheduler, seed):
+    """Pinned processes racing events against timeouts across shards —
+    every event win leaves a cancelled-timer tombstone the merge must
+    discard exactly like the sequential schedulers do."""
+    sim = _make_sim(scheduler)
+    rng = random.Random(seed)
+    log = []
+
+    def waiter(i):
+        ev = sim.event(f"ev{i}")
+        fire_at = rng.random() * 400.0
+        timeout = 1e-9 + rng.random() * 400.0
+        if rng.random() < 0.6:
+            sim.schedule(fire_at, ev.succeed, i)
+        value = yield Timeout(ev, timeout)
+        log.append((sim.now, i, value is TIMED_OUT))
+        yield Delay(rng.choice((0.0, 3.0, 750.0, 12_000.0)))
+        log.append((sim.now, i, "done"))
+
+    procs = [sim.spawn(waiter(i), name=f"w{i}", shard=i % N_SHARDS)
+             for i in range(25)]
+    sim.run_until_processes_done(procs, limit=1e9)
+    return sim, log
+
+
+def _assert_runs_identical(a, b):
+    sim_a, log_a = a
+    sim_b, log_b = b
+    assert log_a == log_b
+    assert sim_a.now == sim_b.now
+    assert sim_a.events_executed == sim_b.events_executed
+    assert sim_a.stale_events_skipped == sim_b.stale_events_skipped
+
+
+class TestShardedEquivalence:
+    """Property: sharded == wheel == heap — same execution log (the
+    event-order digest of these workloads), same final clock, same
+    executed/stale counts — under randomized schedule/cancel/cross-post
+    and Timeout-race workloads."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_random_schedule_cancel_cross_post(self, seed):
+        sharded = _run_random_workload("sharded", seed)
+        _assert_runs_identical(sharded, _run_random_workload("wheel", seed))
+        _assert_runs_identical(sharded, _run_random_workload("heap", seed))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_timeout_races(self, seed):
+        sharded = _run_random_timeout_workload("sharded", seed)
+        _assert_runs_identical(
+            sharded, _run_random_timeout_workload("wheel", seed))
+        _assert_runs_identical(
+            sharded, _run_random_timeout_workload("heap", seed))
+
+
+# ---------------------------------------------------------------------------
+# lossy-faults leg: full event-order digest over a faulty AM workload
+# ---------------------------------------------------------------------------
+
+class _DigestRecorder:
+    """sim.check hook capturing the executed event order as a digest
+    (unsequenced observer entries, ``seq < 0``, are digest-neutral)."""
+
+    def __init__(self):
+        self._h = hashlib.blake2b(digest_size=16)
+        self.executed = 0
+
+    def on_execute(self, entry):
+        if entry[1] < 0:
+            return
+        self._h.update(struct.pack("<dq", entry[0], entry[1]))
+        self._h.update(getattr(entry[2], "__qualname__", "?").encode())
+        self.executed += 1
+
+    def on_stale(self, entry):
+        pass
+
+    def on_cancel(self, entry):
+        pass
+
+    def digest(self):
+        return self._h.hexdigest()
+
+
+def _lossy_am_digest(scheduler, seed, nodes=4, rounds=30):
+    if scheduler == "sharded":
+        sim = ShardedSimulator()
+    else:
+        sim = Simulator(scheduler=scheduler)
+    machine = build_sp_machine(sim, nodes)
+    install_faults(machine, FaultPlan.loss(seed=seed, rate=0.05))
+    ams = attach_spam(machine)
+    rec = _DigestRecorder()
+    sim.check = rec
+    got = []
+
+    def handler(token, a, b):
+        got.append((token.src, a, b))
+
+    def prog(i):
+        for r in range(rounds):
+            yield from ams[i].request_2((i + 1) % nodes, handler, r, i)
+
+    procs = [sim.spawn(prog(i), name=f"p{i}", shard=i)
+             for i in range(nodes)]
+    sim.run_until_processes_done(procs, limit=1e9)
+    return rec.digest(), sim.now, got
+
+
+@pytest.mark.parametrize("seed", [3, 17, 404])
+def test_lossy_am_workload_digest_identical(seed):
+    sharded = _lossy_am_digest("sharded", seed)
+    assert sharded == _lossy_am_digest("wheel", seed)
+    assert sharded == _lossy_am_digest("heap", seed)
+
+
+# ---------------------------------------------------------------------------
+# unit coverage for the sharded internals
+# ---------------------------------------------------------------------------
+
+def test_round_and_cross_post_counters_advance():
+    sim = ShardedSimulator()
+    machine = build_sp_machine(sim, 4)
+    ams = attach_spam(machine)
+    got = []
+
+    def handler(token, x):
+        got.append(x)
+
+    def prog(i):
+        for r in range(5):
+            yield from ams[i].request_1((i + 1) % 4, handler, r)
+
+    procs = [sim.spawn(prog(i), name=f"p{i}", shard=i) for i in range(4)]
+    sim.run_until_processes_done(procs)
+    assert sim.shard_count == 4
+    assert sim.rounds > 0
+    # every switch delivery went through the exchange
+    assert sim.cross_posts > 0
+    assert got  # traffic actually flowed cross-shard
+
+
+def test_post_cross_enforces_conservative_bound():
+    sim = ShardedSimulator()
+    sim.configure_shards(2, 0.5)
+    # at the bound (modulo float epsilon) is fine
+    sim.post_cross(1, sim.now + 0.5, lambda: None)
+    with pytest.raises(ValueError):
+        sim.post_cross(1, sim.now + 0.25, lambda: None)
+    with pytest.raises(ValueError):
+        sim.post_cross(7, sim.now + 0.5, lambda: None)  # no such shard
+
+
+def test_post_cross_requires_configuration():
+    sim = ShardedSimulator()
+    with pytest.raises(RuntimeError):
+        sim.post_cross(0, 1.0, lambda: None)
+
+
+def test_configure_shards_validates():
+    sim = ShardedSimulator()
+    with pytest.raises(ValueError):
+        sim.configure_shards(0, 0.5)
+    with pytest.raises(ValueError):
+        sim.configure_shards(4, 0.0)
+
+
+def test_exchange_entries_count_as_pending():
+    # quiesce predicates use live_pending_count(); an exchanged entry not
+    # yet applied at a barrier is still future work
+    sim = ShardedSimulator()
+    sim.configure_shards(2, 0.5)
+    fired = []
+    sim.post_cross(1, 2.0, fired.append, "x")
+    assert sim.live_pending_count() == 1
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 2.0
+    assert sim.live_pending_count() == 0
+
+
+def test_cancel_between_shards_counts_stale_once():
+    sim = ShardedSimulator()
+    sim.configure_shards(2, 0.5)
+    fired = []
+    h = sim.call_later(10.0, fired.append, "boom")
+    sim.schedule_into(1, 20.0, fired.append, "keepalive")
+    assert h.cancel()
+    sim.run()
+    assert fired == ["keepalive"]
+    assert sim.events_executed == 1
+    assert sim.stale_events_skipped == 1
+
+
+def test_spawn_shard_pinning_inherits_affinity():
+    sim = ShardedSimulator()
+    sim.configure_shards(3, 0.5)
+    seen = []
+
+    def prog(i):
+        yield Delay(1.0)
+        # events scheduled from this callback chain stay in shard i
+        seen.append((i, sim._active_shard))
+        yield Delay(1.0)
+        seen.append((i, sim._active_shard))
+
+    procs = [sim.spawn(prog(i), name=f"p{i}", shard=i) for i in range(3)]
+    sim.run_until_processes_done(procs)
+    assert all(i == shard for i, shard in seen)
+
+
+def test_sharded_negative_delay_clamp_matches_base():
+    sim = ShardedSimulator()
+    sim.configure_shards(2, 0.5)
+    fired = []
+    sim.schedule(-1e-10, fired.append, "ok")
+    with pytest.raises(ValueError):
+        sim.schedule(-1e-6, lambda: None)
+    sim.run()
+    assert fired == ["ok"]
+
+
+def test_unconfigured_sharded_sim_is_a_plain_simulator():
+    # degenerate single-shard mode: no rounds, no lookahead, but the
+    # full Simulator contract (used before a machine is built)
+    sim = ShardedSimulator()
+    log = []
+    sim.schedule(5.0, log.append, "a")
+    sim.schedule(1.0, log.append, "b")
+    sim.run()
+    assert log == ["b", "a"]
+    assert sim.now == 5.0
+    assert sim.rounds == 0

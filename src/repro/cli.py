@@ -16,12 +16,14 @@ Usage::
                                         # metrics sampler + critical-path
                                         # attribution over three workloads
     spam-bench soak --seed 7 --loss 0.05 [--chaos] [--xfer-mode rendezvous]
-                                        # chaos campaign vs the reliability layer
+                    [--workers P]       # chaos campaign vs the reliability layer
     spam-bench perf [--quick] [--check BENCH_simperf.json]
+                    [--nodes 64 256 1024] [--workers 2 4]
                                         # simulator events/sec + wheel-vs-heap
-                                        # determinism/regression gate
+                                        # + worker-backend determinism/
+                                        # regression gates
     spam-bench check --seeds 20 [--loss 0.01] [--shrink] [--xfer-mode auto]
-                                        # randomized conformance campaigns
+                     [--workers P]      # randomized conformance campaigns
                                         # under the invariant sanitizer
     spam-bench protocols [--quick]      # eager vs rendezvous vs MPL vs MPI-F
                                         # bandwidth curves + crossover gate
@@ -276,14 +278,23 @@ def cmd_soak(args) -> int:
     from repro.faults import run_soak
     from repro.obs.critpath import bottleneck_verdict, critpath_rollup
 
-    result = run_soak(
-        seed=args.seed, loss=args.loss, nodes=args.nodes,
-        pingpong=args.pingpong, chaos=args.chaos,
-        compare_clean=not args.no_clean,
-        sample_period_us=(args.sample_period_us
-                          if args.sample_period_us > 0 else None),
-        xfer_mode=args.xfer_mode,
-    )
+    # the gauge sampler reads machine-wide state, so worker-mode runs
+    # disable it regardless of --sample-period-us
+    sample = (args.sample_period_us
+              if args.sample_period_us > 0 and args.workers == 1 else None)
+    try:
+        result = run_soak(
+            seed=args.seed, loss=args.loss, nodes=args.nodes,
+            pingpong=args.pingpong, chaos=args.chaos,
+            compare_clean=not args.no_clean,
+            sample_period_us=sample,
+            xfer_mode=args.xfer_mode,
+            workers=args.workers,
+        )
+    except ValueError as e:
+        # e.g. --chaos with --workers: adapter-site fault kinds draw RNG
+        # inside the workers and cannot replay deterministically
+        raise SystemExit(f"spam-bench: {e}")
     print("\n".join(result.summary_lines()))
     critpath = critpath_rollup(result.obs)
     verdict = bottleneck_verdict(critpath, result.obs.metrics)
@@ -335,7 +346,7 @@ def cmd_check(args) -> int:
         # also sees the retransmission/go-back-N paths
         loss = args.loss if k % 3 == 2 else 0.0
         r = run_campaign(seed, nodes=args.nodes, nops=args.ops, loss=loss,
-                         xfer_mode=args.xfer_mode)
+                         xfer_mode=args.xfer_mode, workers=args.workers)
         results.append(r)
         print(r.summary())
         for v in r.violations:
@@ -380,7 +391,8 @@ def cmd_perf(args) -> int:
     from repro.bench.perf import check_regression, report_entries, run_perf
 
     data = run_perf(quick=args.quick, repeat=args.repeat,
-                    xfer_mode=args.xfer_mode, scaling_nodes=args.nodes)
+                    xfer_mode=args.xfer_mode, scaling_nodes=args.nodes,
+                    workers=args.workers)
     rows = []
     for name, per in data["workloads"].items():
         w = per["wheel"]
@@ -406,6 +418,15 @@ def cmd_perf(args) -> int:
     if not det["identical"]:
         print("FAIL: the schedulers executed different event orders")
         rc = 1
+    dw = data.get("determinism_workers")
+    if dw is not None:
+        verdict = "identical" if dw["identical"] else "MISMATCH"
+        print(f"determinism workers={dw['workers']}: "
+              f"workers==sharded==heap {verdict}")
+        if not dw["identical"]:
+            print("FAIL: the worker backend executed a different "
+                  "event order")
+            rc = 1
     scaling = data.get("scaling")
     if scaling is not None:
         rows = []
@@ -421,6 +442,19 @@ def cmd_perf(args) -> int:
                         ["nodes", "iters", "events", "rounds",
                          "sharded ev/s", "sh/seq ratio", "identical"],
                         rows))
+        wrows = []
+        for key, per in scaling.items():
+            if key == "identical":
+                continue
+            for p, wper in sorted(per.get("workers", {}).items(),
+                                  key=lambda kv: int(kv[0])):
+                wrows.append((per["nodes"], p, wper["adj_eps"],
+                              wper["ratio_workers_over_sharded"],
+                              "yes" if wper["identical"] else "NO"))
+        if wrows:
+            print(fmt_table("worker-process scaling (same ring)",
+                            ["nodes", "workers", "adj ev/s",
+                             "w/sh ratio", "identical"], wrows))
         if not scaling["identical"]:
             print("FAIL: sharded scaling run diverged from the "
                   "sequential reference")
@@ -628,6 +662,12 @@ def main(argv=None) -> int:
                     help="sharded scaling section: ring workload at these "
                          "node counts, sharded vs sequential (e.g. "
                          "--nodes 64 256 1024)")
+    pp.add_argument("--workers", type=_positive_int, nargs="+", default=None,
+                    metavar="P",
+                    help="worker-process counts: adds workers=P columns "
+                         "to the scaling section and runs the workers "
+                         "digest gate at the first count (e.g. "
+                         "--workers 2 4)")
     _add_xfer_mode(pp)
     _add_report_opts(pp)
     ps = sub.add_parser(
@@ -650,7 +690,12 @@ def main(argv=None) -> int:
                     metavar="US",
                     help="periodic gauge sampler on the lossy run; the "
                          "unsequenced lane keeps it digest-neutral "
-                         "(default 50, 0 disables)")
+                         "(default 50, 0 disables; forced off when "
+                         "--workers > 1)")
+    ps.add_argument("--workers", type=_positive_int, default=1, metavar="P",
+                    help="run the lossy campaign on the sharded engine "
+                         "with P worker processes (bit-identical to "
+                         "sequential; drop-family faults only)")
     _add_xfer_mode(ps)
     _add_report_opts(ps)
     pc = sub.add_parser(
@@ -669,6 +714,10 @@ def main(argv=None) -> int:
     pc.add_argument("--shrink", action="store_true",
                     help="minimize any failing campaign to its smallest "
                          "failing op list")
+    pc.add_argument("--workers", type=_positive_int, default=1, metavar="P",
+                    help="run each campaign on the sharded engine with P "
+                         "worker processes (verdicts and digests are "
+                         "engine-independent; shrinking stays sequential)")
     _add_xfer_mode(pc)
     _add_report_opts(pc)
     pb = sub.add_parser(

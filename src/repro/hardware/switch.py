@@ -19,6 +19,7 @@ from typing import Callable, Dict, Optional
 from repro.hardware.packet import Packet
 from repro.hardware.params import SwitchParams
 from repro.sim import Simulator
+from repro.sim.shard import OP_CROSS
 from repro.sim.stats import StatRegistry
 
 
@@ -41,6 +42,11 @@ class Switch:
         # ShardedSimulator this routes the event into the destination
         # node's shard; the sequential engine ignores the shard id
         self._post = sim.post_cross
+        self._sharded = sim.sharded
+        if self._sharded:
+            # the parallel (workers > 1) backend replays deferred
+            # injections through the machine's switch — register it
+            sim._switch = self
         #: observability hub (set by Observatory.attach; None = untraced)
         self.obs = None
         #: queue-wait histogram resolved once per hub (hot path)
@@ -80,6 +86,15 @@ class Switch:
         adapters = self._adapters
         if packet.dst not in adapters:
             raise KeyError(f"packet addressed to unattached node {packet.dst}")
+        if self._sharded and self.sim._op_log is not None:
+            # shard-worker mode: every fabric decision (fault RNG draw,
+            # destination-link queueing, observability accounting) must
+            # happen exactly once, in global packet order, on the parent
+            # sequencer's authoritative switch — defer the whole
+            # injection into the replay op stream
+            self.sim._op_log.append((OP_CROSS, wire_exit_time, packet))
+            self.sim._op_entries.append(None)
+            return
         self._c_packets_routed.value += 1
         if self.fault_injector is not None and self.fault_injector(packet):
             self.stats.count("packets_dropped_fault")

@@ -104,10 +104,16 @@ class TimerHandle:
         e[3] = ()          # drop callback-arg references immediately
         self._entry = None
         self.gen += 1
-        self._sim._stale_pending += 1
-        ck = self._sim.check
+        sim = self._sim
+        sim._stale_pending += 1
+        ck = sim.check
         if ck is not None:
             ck.on_cancel(e)
+        hook = sim._cancel_hook
+        if hook is not None:
+            # multiprocessing shard workers log cancels so the parent
+            # sequencer can tombstone its mirror entry (repro.sim.parallel)
+            hook(e)
         return True
 
     def _fire(self, gen: int, fn: Callable[..., None], args: tuple) -> None:
@@ -172,7 +178,7 @@ class Simulator:
         "_live_processes", "_blocked_processes", "_finish_stamp",
         "events_executed", "stale_events_skipped", "_stale_pending",
         "_queue", "_window_us", "_window_end", "_cur_list", "_cur_idx",
-        "_far", "check", "last_event",
+        "_far", "check", "last_event", "_cancel_hook",
     )
 
     #: True on :class:`~repro.sim.shard.ShardedSimulator`; hardware
@@ -223,6 +229,8 @@ class Simulator:
         self._far: List[list] = []       # heap of entries past the window
         #: event-ordering checker (repro.check), None when unchecked
         self.check = None
+        #: worker-side cancel logger (repro.sim.parallel), None otherwise
+        self._cancel_hook = None
         #: (when, seq, callback) of the event :meth:`step` last executed
         self.last_event: Optional[tuple] = None
 

@@ -1,0 +1,577 @@
+"""Multiprocessing shard workers (phase 2 of parallel sim).
+
+``ShardedSimulator(workers=P)`` executes :meth:`run_until_processes_done`
+across P forked worker processes while staying **bit-identical** to the
+sequential engines.  The trick is a *replay-command protocol*: workers
+execute callbacks, the parent re-executes the *scheduling decisions*.
+
+Roles
+-----
+
+* **Workers** own contiguous shard blocks.  Each round, a worker drains
+  its local k-way merge up to the round horizon, actually invoking the
+  event callbacks against its forked copy of the machine.  Every
+  schedule/cancel the callbacks perform is appended to a compact op log
+  (``repro.sim.shard.OP_*``), and every ``Switch.inject`` is deferred
+  into the same stream — the worker's fabric never runs.
+
+* **The parent** is the sequencer: it keeps a stub entry for every
+  pending event in its own merge structure (the same ``_next_live`` /
+  ``_consume`` code path the single-process sharded engine uses), pops
+  stubs in exact global ``(time, seq)`` order, and replays each popped
+  event's ops against its authoritative state — assigning the real
+  sequence numbers, running the real switch (destination-link queueing,
+  fault-injector RNG in global packet order, observability counters),
+  and feeding ``sim.check``.
+
+Determinism argument
+--------------------
+
+Within a round a worker stamps *provisional* sequence numbers starting
+from the global counter value broadcast at the barrier (the *rebase*).
+Provisional order equals final order for every comparison a worker can
+ever make:
+
+* two same-round entries: the parent replays that worker's ops in log
+  order, so final seqs are assigned in the worker's own allocation
+  order — a monotone re-stamp;
+* a same-round entry vs an older queued one: every pre-round final seq
+  is <= the rebase, every provisional (and its final) is > it — the
+  same inequality under both stampings (symmetrically for the negative
+  unsequenced lane);
+* entries from different workers never meet inside a round (separate
+  address spaces).
+
+Cross-shard deliveries always land at or past the *next* horizon (the
+conservative lookahead bound that phase 1 already enforces), so shipping
+them one barrier later — final-stamped by the parent — is exact.  The
+parent's merge therefore pops stubs in exactly the order the
+single-process engine pops real entries: ``sim.now``, event/stale
+counters, and the event-order digest all come out identical.
+
+Failure handling
+----------------
+
+A worker that dies or hangs mid-round surfaces as a
+:class:`~repro.sim.errors.SimulationError` naming the round and the
+worker's shard range (a watchdog bounds every barrier wait); remaining
+workers are terminated, never left deadlocked on the barrier.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from heapq import heappop, heappush
+from typing import List, Optional
+
+from repro.sim.errors import DeadlockError, SimTimeoutError, SimulationError
+from repro.sim.shard import OP_CANCEL, OP_CROSS, OP_INTO, OP_LOCAL, OP_UNSEQ
+
+
+def _stub(*_args):  # pragma: no cover - never executed
+    raise RuntimeError("parallel replay stub executed")
+
+
+def _make_proxy(qname: str):
+    """A callable whose ``__qualname__`` is the worker-reported one, so
+    parent-side digest recorders hash the same callback name the
+    sequential engine would."""
+
+    def proxy(*_args):  # pragma: no cover - never executed
+        raise RuntimeError("parallel replay proxy executed")
+
+    proxy.__qualname__ = qname
+    return proxy
+
+
+def _shard_spans(nshards: int, nworkers: int) -> List[tuple]:
+    """Contiguous ``[lo, hi)`` shard blocks, sizes differing by <= 1."""
+    base, rem = divmod(nshards, nworkers)
+    spans = []
+    lo = 0
+    for w in range(nworkers):
+        hi = lo + base + (1 if w < rem else 0)
+        spans.append((lo, hi))
+        lo = hi
+    return spans
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+
+def _rebuild_merge(sim, lo: int, hi: int) -> None:
+    """Rebuild the k-way merge over the owned shards from their zone
+    heaps.  Required at every round start: merge items carry *copies* of
+    entry ``(when, seq)``, and the barrier re-stamp just rewrote the
+    sequence numbers underneath them."""
+    sim._merge = []
+    for shard in sim._shards[lo:hi]:
+        cand = shard._cand
+        if cand is not None:
+            if cand[4] is not None:
+                heappush(shard._heap, cand[4])
+            shard._cand = None
+        sim._refill(shard)
+
+
+def _worker_init(sim, lo: int, hi: int, cid_start: int) -> None:
+    """Turn the forked simulator copy into a pure shard executor."""
+    sim.check = None
+    sim._replay_deliveries = None
+    sim.worker_finalize = None
+    sim.workers = 1  # a worker never recurses into the parallel backend
+    sim._cid_next = cid_start
+    for i, shard in enumerate(sim._shards):
+        if not lo <= i < hi:
+            shard._heap = []
+            shard._cand = None
+    sim._exchange.clear()
+    _rebuild_merge(sim, lo, hi)
+    sim._pending_total = sim._pending_count_walk()
+
+    def cancel_hook(entry):
+        log = sim._op_log
+        if log is None:
+            return  # cancel outside a round drain (cannot reach a stub)
+        if len(entry) < 5:
+            raise SimulationError(
+                "worker cancelled an entry with no replay id — the "
+                "pre-fork id walk missed it")
+        log.append((OP_CANCEL, entry[4]))
+        sim._op_entries.append(None)
+
+    sim._cancel_hook = cancel_hook
+
+
+def _worker_main(conn, sim, lo: int, hi: int, watched, digest_mode: bool,
+                 finalize, cid_start: int) -> None:
+    try:
+        _worker_init(sim, lo, hi, cid_start)
+        switch = sim._switch
+        shards = sim._shards
+        qids: dict = {}
+        prev_ents: list = []
+        unfinished = [pair for pair in watched if not pair[1].finished]
+        stamp = sim._finish_stamp
+        while True:
+            msg = conn.recv()
+            if msg[0] == "stop":
+                payload = None
+                if finalize is not None:
+                    payload = finalize(lo, hi)
+                conn.send(("final", payload))
+                conn.close()
+                return
+            _, horizon, seq_rebase, useq_rebase, finals, deliveries = msg
+            # 1. re-stamp last round's entries with their final seqs
+            for e, s in zip(prev_ents, finals):
+                if e is not None and s:
+                    e[1] = s
+            sim._seq = seq_rebase
+            sim._useq = useq_rebase
+            # 2. rebuild the merge (its items hold stale seq copies),
+            #    then insert this round's cross-shard deliveries
+            #    (already final-stamped by the parent)
+            _rebuild_merge(sim, lo, hi)
+            if deliveries:
+                adapters = switch._adapters
+                hand_off = switch._hand_off
+                for shard_id, when, seq, pkt in deliveries:
+                    entry = [when, seq, hand_off,
+                             (adapters[shard_id], pkt), -1]
+                    sim._insert(entry, shards[shard_id])
+                    sim._pending_total += 1
+                    switch.in_flight += 1
+            # 3. drain local events to the horizon, logging replay ops
+            ops: list = []
+            ents: list = []
+            recs: list = []
+            newq: list = []
+            sim._op_log = ops
+            sim._op_entries = ents
+            merge = sim._merge
+            while True:
+                while merge and merge[0][4] is None:
+                    heappop(merge)
+                if not merge:
+                    break
+                item = merge[0]
+                entry = item[4]
+                if entry[2] is None:
+                    # tombstoned: skip past the horizon too — the next
+                    # live entry is no earlier, so the pop stays sound
+                    heappop(merge)
+                    sh = shards[item[3]]
+                    sh._cand = None
+                    sim.stale_events_skipped += 1
+                    sim._stale_pending -= 1
+                    sim._pending_total -= 1
+                    sim._refill(sh)
+                    continue
+                if item[0] >= horizon:
+                    break
+                heappop(merge)
+                sh = shards[item[3]]
+                sh._cand = None
+                sim._active_shard = item[3]
+                sim._pending_total -= 1
+                sim._refill(sh)
+                fn = entry[2]
+                sim.now = entry[0]
+                sim.events_executed += 1
+                fn(*entry[3])
+                fins = ()
+                st = sim._finish_stamp
+                if st != stamp:
+                    stamp = st
+                    done = tuple(gi for gi, p in unfinished if p.finished)
+                    if done:
+                        unfinished = [(gi, p) for gi, p in unfinished
+                                      if not p.finished]
+                        fins = done
+                qid = -1
+                if digest_mode:
+                    qn = getattr(fn, "__qualname__", None)
+                    if qn is None:
+                        qn = type(fn).__name__
+                    qid = qids.get(qn)
+                    if qid is None:
+                        qid = len(qids)
+                        qids[qn] = qid
+                        newq.append(qn)
+                recs.append((entry[0], len(ops), qid, fins))
+            sim._op_log = None
+            sim._op_entries = None
+            prev_ents = ents
+            conn.send(("log", recs, ops, newq))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+
+class _Worker:
+    """Parent-side bookkeeping for one worker process."""
+
+    __slots__ = ("idx", "lo", "hi", "proc", "conn", "cid_map", "cid_next",
+                 "recs", "rec_i", "ops", "op_i", "finals", "deliveries",
+                 "qnames")
+
+    def __init__(self, idx: int, lo: int, hi: int):
+        self.idx = idx
+        self.lo = lo
+        self.hi = hi
+        self.proc = None
+        self.conn = None
+        #: replay id -> parent stub entry (cancel mirroring)
+        self.cid_map: dict = {}
+        self.cid_next = 0
+        self.recs: list = []
+        self.rec_i = 0
+        self.ops: list = []
+        self.op_i = 0
+        #: final seqs for last round's ops, shipped at the next barrier
+        self.finals: list = []
+        #: (shard, when, seq, packet) deliveries for the next barrier
+        self.deliveries: list = []
+        #: qid -> qualname proxy callable (worker interning order)
+        self.qnames: list = []
+
+    def span(self) -> str:
+        return f"worker {self.idx} (shards {self.lo}..{self.hi - 1})"
+
+
+def _assign_cids(sim, owner, workers) -> int:
+    """Stamp a replay id into every pre-fork queued entry (5th list
+    slot) and register it with its owning worker — both sides inherit
+    the stamped entries through the fork, so a worker's cancel of a
+    pre-existing timer maps back to the parent's real entry.  Returns
+    the first free id (the workers' counter start)."""
+    cid = 0
+    for shard in sim._shards:
+        entries = list(shard._heap)
+        cand = shard._cand
+        if cand is not None and cand[4] is not None:
+            entries.append(cand[4])
+        w = workers[owner[shard.id]]
+        for e in entries:
+            if len(e) == 4:
+                e.append(cid)
+            else:
+                e[4] = cid
+            w.cid_map[cid] = e
+            cid += 1
+    return cid
+
+
+def _recv(worker: "_Worker", timeout: float, where: str):
+    """One watchdog-bounded message receive; raises a clean error naming
+    the round and shard range on death, hang, or worker-reported
+    failure."""
+    if not worker.conn.poll(timeout):
+        raise SimulationError(
+            f"{worker.span()} unresponsive in {where} "
+            f"(no barrier message within {timeout:.0f}s watchdog)")
+    try:
+        msg = worker.conn.recv()
+    except EOFError:
+        raise SimulationError(
+            f"{worker.span()} died in {where} "
+            "(pipe closed mid-protocol)") from None
+    if msg[0] == "error":
+        raise SimulationError(
+            f"{worker.span()} failed in {where}:\n{msg[1]}")
+    return msg
+
+
+def run_parallel(sim, procs, limit: float = 1e12,
+                 max_events: Optional[int] = None) -> float:
+    """The parallel body of ``ShardedSimulator.run_until_processes_done``.
+
+    Forks ``sim.workers`` worker processes over contiguous shard blocks
+    and replays their per-round op streams in exact global order.
+    Returns ``sim.now`` at the instant the last watched process
+    finishes — identical to single-process execution, including
+    ``events_executed``, ``stale_events_skipped``, ``rounds``, and every
+    ``sim.check`` callback.
+    """
+    procs = list(procs)
+    if all(p.finished for p in procs):
+        return sim.now
+    if sim._lookahead == float("inf"):
+        raise RuntimeError(
+            "workers > 1 requires configure_shards() — the parallel "
+            "backend partitions the machine along shard boundaries")
+    nshards = len(sim._shards)
+    nworkers = min(sim.workers, nshards)
+    if nworkers <= 1:
+        from repro.sim.engine import Simulator
+
+        return Simulator.run_until_processes_done(sim, procs, limit,
+                                                  max_events)
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        raise SimulationError(
+            "workers > 1 requires the 'fork' multiprocessing start "
+            "method (POSIX only): worker state is inherited through "
+            "the fork, not pickled")
+
+    sim._flush_exchange()
+    spans = _shard_spans(nshards, nworkers)
+    workers = [_Worker(i, lo, hi) for i, (lo, hi) in enumerate(spans)]
+    owner: List[int] = []
+    for w, (lo, hi) in enumerate(spans):
+        owner.extend([w] * (hi - lo))
+    cid_start = _assign_cids(sim, owner, workers)
+    for w in workers:
+        # mirror of the worker's _cid_next allocation (one id per
+        # LOCAL/INTO/UNSEQ op, in replay order == worker log order)
+        w.cid_next = cid_start
+
+    digest_mode = sim.check is not None
+    finalize = sim.worker_finalize
+    watched: List[list] = [[] for _ in range(nworkers)]
+    finished = set()
+    for gi, p in enumerate(procs):
+        if p.finished:
+            finished.add(gi)
+            continue
+        shard = p.shard if p.shard is not None else 0
+        watched[owner[shard]].append((gi, p))
+
+    for w in workers:
+        parent_conn, child_conn = ctx.Pipe()
+        w.conn = parent_conn
+        w.proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, sim, w.lo, w.hi, watched[w.idx],
+                  digest_mode, finalize, cid_start),
+            daemon=True)
+        w.proc.start()
+        child_conn.close()
+
+    watchdog = sim.worker_watchdog_s
+    nprocs = len(procs)
+    check = sim.check
+    shards = sim._shards
+    deliveries_buf: list = []
+    broadcast_h = None
+    executed = 0
+    round_no = 0
+    try:
+        while True:
+            entry = sim._next_live()
+            if entry is None:
+                names = ", ".join(
+                    p.name or "<anon>" for gi, p in enumerate(procs)
+                    if gi not in finished)
+                raise DeadlockError(
+                    f"queue drained at t={sim.now:.3f}us; unfinished: "
+                    + names)
+            if entry[0] > limit:
+                raise SimTimeoutError(
+                    f"simulated time limit {limit}us exceeded; "
+                    f"{nprocs - len(finished)} process(es) unfinished")
+            if max_events is not None and executed >= max_events:
+                raise SimTimeoutError(f"exceeded max_events={max_events}")
+            if broadcast_h is None or entry[0] >= broadcast_h:
+                # round barrier: last round's logs must be exhausted
+                for w in workers:
+                    if w.rec_i != len(w.recs) or w.op_i != len(w.ops):
+                        raise SimulationError(
+                            f"{w.span()} desynchronized in round "
+                            f"{round_no}: {len(w.recs) - w.rec_i} event "
+                            f"record(s) and {len(w.ops) - w.op_i} op(s) "
+                            "left after the parent drained the round")
+                round_no += 1
+                broadcast_h = sim._horizon
+                for w in workers:
+                    w.conn.send(("round", broadcast_h, sim._seq,
+                                 sim._useq, w.finals, w.deliveries))
+                    w.finals = []
+                    w.deliveries = []
+                for w in workers:
+                    msg = _recv(w, watchdog, f"round {round_no}")
+                    _, w.recs, w.ops, newq = msg
+                    w.rec_i = 0
+                    w.op_i = 0
+                    for qn in newq:
+                        w.qnames.append(_make_proxy(qn))
+            sim._consume(entry)
+            shard_id = sim._active_shard
+            w = workers[owner[shard_id]]
+            if w.rec_i >= len(w.recs):
+                raise SimulationError(
+                    f"{w.span()} desynchronized in round {round_no}: "
+                    f"parent expects an event at t={entry[0]} in shard "
+                    f"{shard_id}, but the worker's round log is "
+                    "exhausted")
+            when, op_end, qid, fins = w.recs[w.rec_i]
+            w.rec_i += 1
+            if when != entry[0]:
+                raise SimulationError(
+                    f"{w.span()} desynchronized in round {round_no}: "
+                    f"worker executed t={when}, parent expected "
+                    f"t={entry[0]} (shard {shard_id})")
+            sim.now = entry[0]
+            sim.events_executed += 1
+            executed += 1
+            if check is not None:
+                entry[2] = w.qnames[qid]
+                check.on_execute(entry)
+            # replay this event's scheduling decisions
+            ops = w.ops
+            i = w.op_i
+            while i < op_end:
+                op = ops[i]
+                i += 1
+                tag = op[0]
+                if tag == OP_LOCAL or tag == OP_INTO:
+                    if tag == OP_LOCAL:
+                        dest = shard_id
+                    else:
+                        dest = op[2]
+                        if not w.lo <= dest < w.hi:
+                            raise SimulationError(
+                                f"{w.span()} desynchronized in round "
+                                f"{round_no}: schedule_into(shard="
+                                f"{dest}) targets a shard the worker "
+                                "does not own")
+                    sim._seq += 1
+                    stub = [op[1], sim._seq, _stub, ()]
+                    sim._insert(stub, shards[dest])
+                    sim._pending_total += 1
+                    w.finals.append(sim._seq)
+                    w.cid_map[w.cid_next] = stub
+                    w.cid_next += 1
+                elif tag == OP_UNSEQ:
+                    sim._useq -= 1
+                    stub = [op[1], sim._useq, _stub, ()]
+                    sim._insert(stub, shards[shard_id])
+                    sim._pending_total += 1
+                    w.finals.append(sim._useq)
+                    w.cid_map[w.cid_next] = stub
+                    w.cid_next += 1
+                elif tag == OP_CANCEL:
+                    stub = w.cid_map.get(op[1])
+                    if stub is None:
+                        raise SimulationError(
+                            f"{w.span()} desynchronized in round "
+                            f"{round_no}: cancel of unknown entry "
+                            f"{op[1]}")
+                    if stub[2] is not None:
+                        stub[2] = None
+                        stub[3] = ()
+                        sim._stale_pending += 1
+                        if check is not None:
+                            check.on_cancel(stub)
+                    w.finals.append(0)
+                else:  # OP_CROSS: authoritative switch + fault replay
+                    sim._replay_deliveries = deliveries_buf
+                    try:
+                        sim._switch.inject(op[2], op[1])
+                    finally:
+                        sim._replay_deliveries = None
+                    for shard, d_entry, pkt in deliveries_buf:
+                        workers[owner[shard]].deliveries.append(
+                            (shard, d_entry[0], d_entry[1], pkt))
+                    deliveries_buf.clear()
+                    w.finals.append(0)
+            w.op_i = i
+            for gi in fins:
+                finished.add(gi)
+            if len(finished) == nprocs:
+                _shutdown(sim, workers, watchdog,
+                          strict=finalize is not None)
+                return sim.now
+    except (SimTimeoutError, DeadlockError):
+        # aborted runs still get a best-effort graceful stop so
+        # diagnostic finalize payloads (per-node check data) exist;
+        # workers are parked at the barrier, so this is usually quick
+        try:
+            _shutdown(sim, workers, min(watchdog, 5.0), strict=False)
+        except Exception:
+            pass
+        raise
+    finally:
+        for w in workers:
+            if w.proc is not None and w.proc.is_alive():
+                w.proc.terminate()
+        for w in workers:
+            if w.proc is not None:
+                w.proc.join(timeout=5.0)
+
+
+def _shutdown(sim, workers, watchdog: float, strict: bool) -> None:
+    """Graceful stop: run finalizers worker-side, collect payloads.
+    With ``strict`` a failed collection propagates; otherwise the
+    payload slot is left None (best-effort diagnostics)."""
+    results = [None] * len(workers)
+    for w in workers:
+        try:
+            w.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+    for w in workers:
+        try:
+            msg = _recv(w, watchdog, "finalize")
+        except SimulationError:
+            if strict:
+                raise
+            continue
+        if msg[0] == "final":
+            results[w.idx] = msg[1]
+    sim.worker_results = results
+    for w in workers:
+        w.conn.close()
+        w.proc.join(timeout=5.0)

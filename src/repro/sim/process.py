@@ -26,13 +26,20 @@ class Process:
     """A generator registered with a :class:`~repro.sim.engine.Simulator`."""
 
     __slots__ = ("sim", "gen", "name", "done", "finished", "result", "error",
-                 "_waiting", "_send", "_resume", "_schedule")
+                 "shard", "_waiting", "_send", "_resume", "_schedule")
 
     def __init__(self, sim, gen: Generator, name: str = "",
                  shard: Optional[int] = None):
         self.sim = sim
         self.gen = gen
         self.name = name
+        #: the shard zone this process's events live in (None on the
+        #: sequential engine).  An unpinned spawn from a callback inherits
+        #: the executing event's shard — recorded here so the parallel
+        #: backend can partition watched processes across workers.
+        self.shard = shard
+        if shard is None and sim.sharded:
+            self.shard = sim._active_shard
         self.done: Event = sim.event(name=f"{name}.done")
         self.finished = False
         self.result: Any = None

@@ -31,10 +31,17 @@ makes sharded execution **digest-identical** to the sequential wheel and
 heap schedulers (the PR 3/5 event-order digest machinery is the harness:
 ``spam-bench perf`` and ``tests/sim/test_sharded.py`` assert
 ``sharded == sequential == heap`` on the protocol workloads and the lossy
-soak).  What the rounds buy is the phase-2 seam: per-shard zones plus
-barrier-exchanged packets are exactly the state partitioning a
-``multiprocessing`` backend needs — one worker per shard, digests compared
-per round.
+soak).
+
+Phase 2 (``workers=P``) executes those rounds in parallel:
+:mod:`repro.sim.parallel` forks P worker processes over contiguous shard
+blocks, each worker drains its shards to the round horizon while logging a
+compact replay op stream (schedules, cancels, deferred switch injections),
+and the parent replays the merged streams through its own k-way merge —
+re-stamping sequence numbers and executing the authoritative switch /
+fault-injector state — so parallel execution stays bit-identical to the
+sequential engines.  See ``docs/architecture.md`` for the protocol and the
+determinism argument.
 
 The merge keeps **one valid candidate per shard** in a single binary heap:
 a shard's earliest entry is registered as a merge *item*; scheduling an
@@ -54,6 +61,16 @@ from typing import Any, Callable, List, Optional
 from repro.sim.engine import NEGATIVE_DELAY_EPSILON, Simulator
 
 _INF = float("inf")
+
+# Replay op tags (the worker -> parent protocol of repro.sim.parallel).
+# A worker logs one op per schedule/cancel/deferred-injection it performs
+# while draining a round; the parent sequencer mirrors each op against its
+# own authoritative state in exact global event order.
+OP_LOCAL = 0   # (OP_LOCAL, when): schedule/at into the executing shard
+OP_INTO = 1    # (OP_INTO, when, shard): schedule_into an explicit shard
+OP_UNSEQ = 2   # (OP_UNSEQ, when): schedule_unsequenced (negative seq lane)
+OP_CANCEL = 3  # (OP_CANCEL, cid): TimerHandle.cancel of entry cid
+OP_CROSS = 4   # (OP_CROSS, wire_exit, packet): deferred Switch.inject
 
 
 class Shard:
@@ -94,13 +111,24 @@ class ShardedSimulator(Simulator):
     __slots__ = (
         "_shards", "_active_shard", "_merge", "_exchange",
         "_lookahead", "_horizon", "_reg", "rounds", "cross_posts",
+        "_pending_total", "workers", "worker_watchdog_s",
+        "worker_finalize", "worker_results", "_switch",
+        "_op_log", "_op_entries", "_replay_deliveries", "_cid_next",
     )
 
     sharded = True
 
-    def __init__(self, idle_fast_forward: bool = True) -> None:
+    #: when True, :meth:`_pending_count` cross-checks the O(1) counter
+    #: against the full zone walk (tests flip this on; the walk is the
+    #: very cost the counter exists to avoid on quiesce-poll paths)
+    _audit_pending = False
+
+    def __init__(self, idle_fast_forward: bool = True, workers: int = 1,
+                 worker_watchdog_s: float = 60.0) -> None:
         super().__init__(scheduler="heap",
                          idle_fast_forward=idle_fast_forward)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         #: reported in perf records / repr; "heap" internals are unused
         self.scheduler = "sharded"
         self._shards: List[Shard] = [Shard(0)]
@@ -119,6 +147,47 @@ class ShardedSimulator(Simulator):
         self.rounds = 0
         #: cross-shard posts buffered through the exchange
         self.cross_posts = 0
+        #: incrementally-maintained queued-entry count (tombstones
+        #: included, mirroring the base class): +1 on every schedule /
+        #: post, -1 on every consume / stale skip.  Quiesce predicates
+        #: poll ``live_pending_count()`` per idle event, so the O(shards)
+        #: zone walk this replaces was a per-poll cost.
+        self._pending_total = 0
+        #: worker processes for :meth:`run_until_processes_done`; 1 =
+        #: single-process (phase-1) execution.  ``run()``/``step()``
+        #: always execute single-process — only the process-drain loop
+        #: has the parallel backend.
+        self.workers = int(workers)
+        #: seconds a round barrier may wait on a worker before the run
+        #: is aborted with an error naming the round and shard range
+        self.worker_watchdog_s = float(worker_watchdog_s)
+        #: optional callable run *inside each worker* after the last
+        #: round; its picklable return value lands in ``worker_results``
+        #: (campaign harnesses ship per-node verification data this way)
+        self.worker_finalize = None
+        #: list of per-worker finalize payloads after a parallel run
+        self.worker_results = None
+        #: the machine's Switch (set by Switch.__init__); the parallel
+        #: backend replays deferred injections through it
+        self._switch = None
+        #: worker-mode replay op log (None = normal execution).  While a
+        #: worker drains a round, every schedule/cancel appends a compact
+        #: op here so the parent sequencer can mirror it; the switch
+        #: defers injections into the same stream.
+        self._op_log: Optional[list] = None
+        #: entries created this round, 1:1 with ``_op_log`` (None for
+        #: ops that create no local entry) — re-stamped with the
+        #: parent's authoritative sequence numbers at the next barrier
+        self._op_entries: Optional[list] = None
+        #: parent-side replay state: when not None, post_cross records
+        #: ``(shard, entry, packet)`` here so deliveries can be shipped
+        #: to the owning worker at the next round barrier
+        self._replay_deliveries: Optional[list] = None
+        #: worker-side replay-id counter: every entry a worker creates
+        #: gets the next id appended as its 5th slot, and the parent
+        #: mirrors the allocation order so ``TimerHandle.cancel`` ops can
+        #: name their target across the process boundary
+        self._cid_next = 0
 
     # -- topology ---------------------------------------------------------
 
@@ -157,6 +226,13 @@ class ShardedSimulator(Simulator):
         self._seq += 1
         entry = [self.now + delay, self._seq, fn, args]
         self._insert(entry, self._shards[self._active_shard])
+        self._pending_total += 1
+        log = self._op_log
+        if log is not None:
+            entry.append(self._cid_next)
+            self._cid_next += 1
+            log.append((OP_LOCAL, entry[0]))
+            self._op_entries.append(entry)
         return entry
 
     def at(self, when: float, fn: Callable[..., None], *args: Any) -> list:
@@ -168,16 +244,33 @@ class ShardedSimulator(Simulator):
         self._seq += 1
         entry = [self.now + delay, self._seq, fn, args]
         self._insert(entry, self._shards[self._active_shard])
+        self._pending_total += 1
+        log = self._op_log
+        if log is not None:
+            entry.append(self._cid_next)
+            self._cid_next += 1
+            log.append((OP_LOCAL, entry[0]))
+            self._op_entries.append(entry)
         return entry
 
     def schedule_unsequenced(self, delay: float, fn: Callable[..., None],
                              *args: Any) -> list:
+        # inherits _active_shard like schedule(): an unsequenced
+        # (gauge-sampler) timer rescheduled from its own tick stays in the
+        # shard — and therefore the worker — that executes it
         if delay <= 0.0:
             raise ValueError(
                 f"unsequenced delay must be positive, got {delay}")
         self._useq -= 1
         entry = [self.now + delay, self._useq, fn, args]
         self._insert(entry, self._shards[self._active_shard])
+        self._pending_total += 1
+        log = self._op_log
+        if log is not None:
+            entry.append(self._cid_next)
+            self._cid_next += 1
+            log.append((OP_UNSEQ, entry[0]))
+            self._op_entries.append(entry)
         return entry
 
     def schedule_into(self, shard: int, delay: float,
@@ -194,6 +287,15 @@ class ShardedSimulator(Simulator):
         self._seq += 1
         entry = [self.now + delay, self._seq, fn, args]
         self._insert(entry, self._shards[shard])
+        self._pending_total += 1
+        log = self._op_log
+        if log is not None:
+            entry.append(self._cid_next)
+            self._cid_next += 1
+            # ownership is validated by the parent sequencer at replay:
+            # a worker can only place entries in shards it owns
+            log.append((OP_INTO, entry[0], shard))
+            self._op_entries.append(entry)
         return entry
 
     def post_cross(self, shard: int, when: float, fn: Callable[..., None],
@@ -208,6 +310,11 @@ class ShardedSimulator(Simulator):
         path is faster than the configured lookahead and the decomposition
         would be unsound.
         """
+        if self._op_log is not None:
+            raise RuntimeError(
+                "post_cross inside a shard worker: cross-shard deliveries "
+                "must come from the switch, whose injections are deferred "
+                "to the parent sequencer")
         if not 0 <= shard < len(self._shards):
             raise ValueError(f"no shard {shard} "
                              f"(have {len(self._shards)})")
@@ -222,7 +329,16 @@ class ShardedSimulator(Simulator):
                 raise ValueError(f"cannot schedule in the past (delay={delay})")
             delay = 0.0
         when = self.now + delay
-        if when + NEGATIVE_DELAY_EPSILON < self.now + lookahead:
+        # The lookahead bound check must tolerate float drift that grows
+        # with the magnitude of the clock: after many rounds an
+        # exact-boundary post computed as a sum of wire times can land one
+        # ulp short of ``now + lookahead``, and one ulp is already
+        # ~2.4e-7 at t=1e9 us — far beyond the absolute epsilon.  Scale
+        # the tolerance by ``now`` (the epsilon convention is per-unit
+        # error); the timestamp itself is NOT clamped, as rewriting it
+        # would change the digest vs the sequential engine.
+        tol = NEGATIVE_DELAY_EPSILON * (self.now if self.now > 1.0 else 1.0)
+        if (self.now + lookahead) - when > tol:
             raise ValueError(
                 f"cross-shard post at t={when} violates the conservative "
                 f"lookahead bound (now={self.now}, lookahead={lookahead})")
@@ -230,6 +346,12 @@ class ShardedSimulator(Simulator):
         entry = [when, self._seq, fn, args]
         self._exchange.append((shard, entry))
         self.cross_posts += 1
+        self._pending_total += 1
+        if self._replay_deliveries is not None:
+            # parent sequencer replaying a worker's deferred injection:
+            # remember the delivery so the owning worker receives it at
+            # the next round barrier (args = (adapter, packet))
+            self._replay_deliveries.append((shard, entry, args[-1]))
         return entry
 
     # -- merge internals --------------------------------------------------
@@ -298,6 +420,7 @@ class ShardedSimulator(Simulator):
                 shard._cand = None
                 self.stale_events_skipped += 1
                 self._stale_pending -= 1
+                self._pending_total -= 1
                 if check is not None:
                     check.on_stale(entry)
                 self._refill(shard)
@@ -322,7 +445,30 @@ class ShardedSimulator(Simulator):
         # shard affinity: events scheduled by this entry's callback land
         # in its shard (set before the base loop invokes the callback)
         self._active_shard = shard_id
+        self._pending_total -= 1
         self._refill(shard)
+
+    # -- running ----------------------------------------------------------
+
+    def run_until_processes_done(self, procs, limit: float = 1e12,
+                                 max_events=None,
+                                 idle_fast_forward=None) -> float:
+        """Drain until every process in ``procs`` finishes.
+
+        With ``workers > 1`` this is the parallel entry point: shards are
+        partitioned over forked worker processes and the parent replays
+        their per-round op streams in exact global order (bit-identical
+        to single-process execution).  ``run()``/``step()`` always stay
+        single-process.
+        """
+        if self.workers > 1:
+            from repro.sim.parallel import run_parallel
+
+            return run_parallel(self, procs, limit=limit,
+                                max_events=max_events)
+        return super().run_until_processes_done(
+            procs, limit=limit, max_events=max_events,
+            idle_fast_forward=idle_fast_forward)
 
     def _peek(self) -> Optional[list]:
         if self._exchange:
@@ -333,6 +479,17 @@ class ShardedSimulator(Simulator):
         return merge[0][4] if merge else None
 
     def _pending_count(self) -> int:
+        # O(1): quiesce predicates call live_pending_count() on every
+        # idle poll, and the zone walk was O(shards) per poll
+        n = self._pending_total
+        if self._audit_pending:
+            walk = self._pending_count_walk()
+            assert n == walk, (
+                f"pending counter {n} disagrees with zone walk {walk}")
+        return n
+
+    def _pending_count_walk(self) -> int:
+        """The authoritative O(shards) count (audit / debugging)."""
         return (len(self._exchange)
                 + sum(1 for item in self._merge if item[4] is not None)
                 + sum(len(s._heap) for s in self._shards))

@@ -30,11 +30,17 @@ _TINY_DIGESTS = {
     "bulk": (8_192, 1),
     "alltoall": (3, 2_048, 1),
 }
+_TINY_PARALLEL = {
+    "pingpong": (40,),
+    "bulk": (8_192, 1),
+    "soak": (6,),
+}
 
 
 def _tiny_run():
     return run_perf(quick=True, repeat=1, sizes=_TINY_SIZES,
-                    digest_sizes=_TINY_DIGESTS)
+                    digest_sizes=_TINY_DIGESTS,
+                    parallel_digest_sizes=_TINY_PARALLEL)
 
 
 class TestSuite:
@@ -69,6 +75,69 @@ class TestSuite:
         broken["determinism"]["identical"] = False
         problems = check_regression(broken, data)
         assert any("digest" in p for p in problems)
+
+    def test_suite_covers_workers_backend(self):
+        data = _tiny_run()
+        dw = data["determinism_workers"]
+        assert dw["identical"], dw
+        for name in ("pingpong", "bulk", "soak"):
+            assert dw[name]["identical"], (name, dw[name])
+        assert data["cpus"] >= 1
+
+    def test_regression_gate_flags_workers_digest_mismatch(self):
+        data = _tiny_run()
+        broken = copy.deepcopy(data)
+        broken["determinism_workers"]["identical"] = False
+        problems = check_regression(broken, data)
+        assert any("worker-backend" in p for p in problems)
+
+
+class TestWorkersRatioGate:
+    """The workers speedup columns gate only when the committed report
+    shows a real gain AND this runner has the cores to reproduce it."""
+
+    @staticmethod
+    def _scaling(ratio):
+        base = {"nodes": 64, "iterations": 4,
+                "sequential": {"adj_eps": 1.0},
+                "sharded": {"adj_eps": 1.0},
+                "ratio_sharded_over_sequential": 1.0,
+                "workers": {"2": {"adj_eps": ratio,
+                                  "ratio_workers_over_sharded": ratio,
+                                  "identical": True}},
+                "identical": True}
+        return {"64": base, "identical": True}
+
+    def _reports(self, committed_ratio, current_ratio):
+        skeleton = {"workloads": {n: {"ratio_wheel_over_heap": 1.0}
+                                  for n in ("pingpong", "bulk",
+                                            "alltoall")},
+                    "determinism": {"identical": True}}
+        cur = {**copy.deepcopy(skeleton),
+               "scaling": self._scaling(current_ratio)}
+        ref = {**copy.deepcopy(skeleton),
+               "scaling": self._scaling(committed_ratio)}
+        return cur, ref
+
+    def test_collapsed_speedup_trips_when_cores_exist(self, monkeypatch):
+        import repro.bench.perf as perf
+        monkeypatch.setattr(perf.os, "cpu_count", lambda: 8)
+        cur, ref = self._reports(2.0, 1.0)
+        problems = check_regression(cur, ref)
+        assert any("worker backend regression" in p for p in problems)
+
+    def test_no_gate_without_the_cores(self, monkeypatch):
+        import repro.bench.perf as perf
+        monkeypatch.setattr(perf.os, "cpu_count", lambda: 1)
+        cur, ref = self._reports(2.0, 0.2)
+        assert check_regression(cur, ref) == []
+
+    def test_honest_sub_one_committed_ratio_is_not_a_target(self,
+                                                            monkeypatch):
+        import repro.bench.perf as perf
+        monkeypatch.setattr(perf.os, "cpu_count", lambda: 8)
+        cur, ref = self._reports(0.2, 0.1)
+        assert check_regression(cur, ref) == []
 
 
 def test_determinism_digests_are_stable_within_scheduler():

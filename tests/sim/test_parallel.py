@@ -1,0 +1,261 @@
+"""Tests for the multiprocessing shard-worker backend (phase 2).
+
+The contract: ``ShardedSimulator(workers=P)`` executes
+``run_until_processes_done`` bit-identically to single-process execution
+— same event-order digest, same final clock, same executed/stale/round
+counters — and a worker that dies or hangs mid-round surfaces as a clean
+error naming the round and shard range instead of a deadlocked barrier.
+"""
+
+import hashlib
+import os
+import random
+import struct
+import time
+
+import pytest
+
+from repro.am import attach_spam
+from repro.faults.injector import install_faults
+from repro.faults.plan import FaultPlan
+from repro.hardware.machine import build_sp_machine
+from repro.sim import Delay, ShardedSimulator, Simulator, Timeout
+from repro.sim.errors import SimulationError
+from repro.sim.parallel import _shard_spans
+from repro.sim.primitives import TIMED_OUT
+
+
+class DigestRecorder:
+    """sim.check hook hashing the executed event order (unsequenced
+    observer entries, ``seq < 0``, are digest-neutral)."""
+
+    def __init__(self):
+        self._h = hashlib.blake2b(digest_size=16)
+
+    def on_execute(self, entry):
+        if entry[1] < 0:
+            return
+        self._h.update(struct.pack("<dq", entry[0], entry[1]))
+        self._h.update(getattr(entry[2], "__qualname__", "?").encode())
+
+    def on_stale(self, entry):
+        pass
+
+    def on_cancel(self, entry):
+        pass
+
+    def digest(self):
+        return self._h.hexdigest()
+
+
+def _counters(sim):
+    return (sim.now, sim.events_executed, sim.stale_events_skipped,
+            getattr(sim, "rounds", None))
+
+
+# ---------------------------------------------------------------------------
+# synthetic timer/cancel workload (no machine, pure engine)
+# ---------------------------------------------------------------------------
+
+
+def _run_timeout_races(workers, seed, shards=4, nprocs=25):
+    """Shard-clean Timeout-race workload: all randomness is drawn before
+    the run (a shared RNG mutated from worker callbacks would change the
+    simulation itself, not just its schedule)."""
+    sim = ShardedSimulator(workers=workers, worker_watchdog_s=30.0)
+    sim.configure_shards(shards, 0.5)
+    rng = random.Random(seed)
+    plans = [(rng.random() * 400.0, 1e-9 + rng.random() * 400.0,
+              rng.random() < 0.6,
+              rng.choice((0.0, 3.0, 750.0, 12_000.0)))
+             for _ in range(nprocs)]
+
+    def waiter(i):
+        fire_at, timeout, do_fire, post = plans[i]
+        ev = sim.event(f"ev{i}")
+        if do_fire:
+            sim.schedule(fire_at, ev.succeed, i)
+        value = yield Timeout(ev, timeout)
+        assert (value is TIMED_OUT) == (not do_fire or fire_at > timeout)
+        yield Delay(post)
+
+    procs = [sim.spawn(waiter(i), name=f"w{i}", shard=i % shards)
+             for i in range(nprocs)]
+    sim.run_until_processes_done(procs, limit=1e9)
+    return _counters(sim)
+
+
+@pytest.mark.parametrize("seed", [0, 7, 99, 12345])
+def test_timeout_races_identical_across_worker_counts(seed):
+    ref = _run_timeout_races(1, seed)
+    for workers in (2, 3, 4):
+        assert _run_timeout_races(workers, seed) == ref
+
+
+def _one_delay():
+    yield Delay(2.0)
+
+
+def test_workers_clamp_to_shard_count():
+    # more workers than shards degrades to shard-count workers; a
+    # 1-shard sim falls back to sequential execution entirely
+    ref = _run_timeout_races(1, 5)
+    assert _run_timeout_races(16, 5) == ref
+    sim = ShardedSimulator(workers=4)
+    sim.configure_shards(1, 0.5)
+    fired = []
+    p = sim.spawn(_one_delay(), name="noop")
+    sim.schedule(1.0, fired.append, "x")
+    sim.run_until_processes_done([p])
+    assert fired == ["x"]
+    assert sim.workers == 4  # knob untouched by the fallback
+
+
+# ---------------------------------------------------------------------------
+# full-machine AM workload digests (lossy fabric, real switch replay)
+# ---------------------------------------------------------------------------
+
+
+def _lossy_am_run(engine, seed, nodes=4, rounds=25):
+    if engine == "heap":
+        sim = Simulator(scheduler="heap")
+    elif engine == "sharded":
+        sim = ShardedSimulator()
+    else:
+        sim = ShardedSimulator(workers=engine, worker_watchdog_s=60.0)
+    machine = build_sp_machine(sim, nodes)
+    install_faults(machine, FaultPlan.loss(seed=seed, rate=0.05))
+    ams = attach_spam(machine)
+    rec = DigestRecorder()
+    sim.check = rec
+
+    def handler(token, a, b):
+        pass
+
+    def prog(i):
+        for r in range(rounds):
+            yield from ams[i].request_2((i + 1) % nodes, handler, r, i)
+
+    procs = [sim.spawn(prog(i), name=f"p{i}", shard=i)
+             for i in range(nodes)]
+    sim.run_until_processes_done(procs, limit=1e9)
+    return (rec.digest(),) + _counters(sim)
+
+
+@pytest.mark.parametrize("seed", [3, 17])
+def test_lossy_am_digest_identical_across_backends(seed):
+    ref = _lossy_am_run("sharded", seed)
+    assert _lossy_am_run("heap", seed)[:4] == ref[:4]  # no rounds on heap
+    assert _lossy_am_run(2, seed) == ref
+    assert _lossy_am_run(4, seed) == ref
+
+
+# ---------------------------------------------------------------------------
+# finalizer payloads
+# ---------------------------------------------------------------------------
+
+
+def _echo_span(lo, hi):
+    return ("span", lo, hi, os.getpid())
+
+
+def test_worker_finalize_ships_per_worker_payloads():
+    sim = ShardedSimulator(workers=2)
+    sim.configure_shards(4, 0.5)
+    sim.worker_finalize = _echo_span
+
+    def prog(i):
+        yield Delay(float(i + 1))
+
+    procs = [sim.spawn(prog(i), name=f"p{i}", shard=i) for i in range(4)]
+    sim.run_until_processes_done(procs)
+    assert sim.worker_results is not None
+    spans = [(r[1], r[2]) for r in sim.worker_results]
+    assert spans == _shard_spans(4, 2)
+    # finalizers ran in the workers, not the parent
+    assert all(r[3] != os.getpid() for r in sim.worker_results)
+
+
+# ---------------------------------------------------------------------------
+# worker-failure surfacing (satellite: no deadlocked barriers)
+# ---------------------------------------------------------------------------
+
+
+def _suicide():
+    os._exit(17)
+
+
+def _hang():
+    time.sleep(60.0)
+
+
+def _boom():
+    raise ValueError("injected worker failure")
+
+
+def _spin(sim, shard):
+    # keep a live event stream in another shard so the run has rounds
+    def prog():
+        for _ in range(50):
+            yield Delay(1.0)
+    return sim.spawn(prog(), name=f"spin{shard}", shard=shard)
+
+
+def test_worker_death_names_round_and_shards():
+    sim = ShardedSimulator(workers=2, worker_watchdog_s=30.0)
+    sim.configure_shards(4, 0.5)
+    procs = [_spin(sim, 0), _spin(sim, 3)]
+    sim.schedule_into(3, 5.0, _suicide)
+    with pytest.raises(SimulationError) as ei:
+        sim.run_until_processes_done(procs, limit=1e6)
+    msg = str(ei.value)
+    assert "worker 1" in msg and "shards 2..3" in msg
+    assert "round" in msg and "died" in msg
+
+
+def test_worker_hang_trips_watchdog():
+    sim = ShardedSimulator(workers=2, worker_watchdog_s=1.0)
+    sim.configure_shards(4, 0.5)
+    procs = [_spin(sim, 0), _spin(sim, 3)]
+    sim.schedule_into(3, 5.0, _hang)
+    with pytest.raises(SimulationError) as ei:
+        sim.run_until_processes_done(procs, limit=1e6)
+    msg = str(ei.value)
+    assert "worker 1" in msg and "shards 2..3" in msg
+    assert "unresponsive" in msg and "watchdog" in msg
+
+
+def test_worker_exception_carries_traceback():
+    sim = ShardedSimulator(workers=2, worker_watchdog_s=30.0)
+    sim.configure_shards(4, 0.5)
+    procs = [_spin(sim, 0), _spin(sim, 3)]
+    sim.schedule_into(3, 5.0, _boom)
+    with pytest.raises(SimulationError) as ei:
+        sim.run_until_processes_done(procs, limit=1e6)
+    msg = str(ei.value)
+    assert "worker 1" in msg and "failed" in msg
+    assert "injected worker failure" in msg
+
+
+# ---------------------------------------------------------------------------
+# internals
+# ---------------------------------------------------------------------------
+
+
+def test_shard_spans_cover_contiguously():
+    for n, p in [(4, 2), (5, 2), (7, 3), (1024, 4), (3, 3)]:
+        spans = _shard_spans(n, p)
+        assert spans[0][0] == 0 and spans[-1][1] == n
+        assert all(a[1] == b[0] for a, b in zip(spans, spans[1:]))
+        sizes = [hi - lo for lo, hi in spans]
+        assert max(sizes) - min(sizes) <= 1
+
+
+def test_workers_validation():
+    with pytest.raises(ValueError):
+        ShardedSimulator(workers=0)
+    sim = ShardedSimulator(workers=2)
+    # unconfigured (infinite lookahead) parallel run is rejected
+    p = sim.spawn(_one_delay(), name="p")
+    with pytest.raises(RuntimeError):
+        sim.run_until_processes_done([p])
